@@ -1,0 +1,93 @@
+// Command ufsim regenerates the tables and figures of "Uncore Encore:
+// Covert Channels Exploiting Uncore Frequency Scaling" (MICRO 2023) on the
+// simulated platform.
+//
+// Usage:
+//
+//	ufsim -list                      list available experiments
+//	ufsim -experiment fig3           regenerate Figure 3
+//	ufsim -experiment all            regenerate everything
+//	ufsim -experiment fig10 -quick   fast, reduced-density variant
+//	ufsim -experiment fig9 -seed 7   change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		id    = flag.String("experiment", "", "experiment id to run (or \"all\")")
+		quick = flag.Bool("quick", false, "reduced trial counts and sweep densities")
+		seed  = flag.Uint64("seed", experiments.DefaultOptions().Seed, "simulation seed")
+		out   = flag.String("out", "", "directory to also write per-experiment reports into")
+	)
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list || *id == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		}
+		if *id == "" && !*list {
+			fmt.Println("\nrun one with: ufsim -experiment <id>")
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	run := func(e experiments.Experiment) {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		t0 := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ufsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ufsim: rendering %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			f, err := os.Create(filepath.Join(*out, e.ID+".txt"))
+			if err == nil {
+				err = res.Render(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ufsim: writing %s report: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+	}
+
+	if *id == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Get(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ufsim: unknown experiment %q (use -list)\n", *id)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,83 @@
+// Defenses pits UF-variation against every deployed mitigation of
+// Table 3 and §6.1 and prints a verdict per environment — the paper's
+// headline: uncore partitioning stops the classic channels but not this
+// one; only giving up UFS itself (fixing or randomizing the frequency, or
+// keeping the uncore busy) works.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/channel/ufvariation"
+	"repro/internal/defense"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func runUnder(env defense.Env, name string) {
+	m := system.New(system.DefaultConfig())
+	env.Apply(m)
+	pl := env.Placement()
+	cfg := ufvariation.DefaultConfig()
+	cfg.Sender = ufvariation.Placement{Socket: pl.SenderSocket, Core: pl.SenderCore}
+	cfg.Receiver = ufvariation.Placement{Socket: pl.ReceiverSocket, Core: pl.ReceiverCore}
+	cfg.SenderDomain, cfg.ReceiverDomain = pl.SenderDomain, pl.ReceiverDomain
+	if pl.SenderSocket != pl.ReceiverSocket {
+		cfg.Interval = 40 * sim.Millisecond
+	}
+	bits := channel.RandomBits(m.Rand(1), 48)
+	res, err := ufvariation.Run(m, cfg, bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "channel DEFEATED"
+	if res.Result.Functional() {
+		verdict = "channel SURVIVES"
+	}
+	fmt.Printf("%-38s BER %.2f  -> %s\n", name, res.BER, verdict)
+}
+
+func runCountermeasure(cm defense.Countermeasure, name string) {
+	m := system.New(system.DefaultConfig())
+	for s := range m.Sockets() {
+		if err := defense.Deploy(cm, m, s, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := ufvariation.DefaultConfig()
+	if cm == defense.RestrictedRange {
+		cfg.MaxFreqOverride = 17
+	}
+	bits := channel.RandomBits(m.Rand(2), 48)
+	res, err := ufvariation.Run(m, cfg, bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "channel DEFEATED"
+	if res.Result.Functional() {
+		verdict = "channel SURVIVES"
+	}
+	fmt.Printf("%-38s BER %.2f  -> %s\n", name, res.BER, verdict)
+}
+
+func main() {
+	fmt.Println("UF-variation vs deployed uncore defences (Table 3):")
+	runUnder(defense.Baseline(), "no defence")
+	e := defense.Baseline()
+	e.RandomizedLLC = true
+	runUnder(e, "randomized LLC indexing")
+	e = defense.Baseline()
+	e.FinePartition = true
+	runUnder(e, "fine-grained uncore partitioning")
+	e = defense.Baseline()
+	e.CoarsePartition = true
+	runUnder(e, "coarse per-socket partitioning")
+
+	fmt.Println("\nUFS-specific countermeasures (§6.1):")
+	runCountermeasure(defense.FixedFrequency, "fixed uncore frequency")
+	runCountermeasure(defense.RandomizedFrequency, "randomized uncore frequency")
+	runCountermeasure(defense.RestrictedRange, "restricted UFS range (1.5-1.7 GHz)")
+	runCountermeasure(defense.BusyUncore, "high-utilisation background thread")
+}

@@ -1,0 +1,54 @@
+// Recon demonstrates the unprivileged reconnaissance step behind all the
+// paper's attacks (§2.1): without physical addresses or MSR access, an
+// attacker recovers which LLC slice a line lives on purely from timing —
+// measure the line's LLC-hit latency from each core, and the hop-distance
+// pattern across the die betrays the home tile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/recon"
+	"repro/internal/system"
+)
+
+func main() {
+	m := system.New(system.DefaultConfig())
+	s := m.Socket(0)
+	die := s.Die
+
+	line := cache.Line(0x5eed<<12 | 0x155)
+	truth := s.Hier.SliceOf(0, line)
+
+	fmt.Printf("target line %#x — true home slice %d at tile %v (attacker does not know this)\n\n",
+		uint64(line), truth, die.SliceCoord(truth))
+	fmt.Println("timing the line's LLC hits from every core (uncore pinned by a keeper thread)...")
+
+	profile, err := recon.Profile(m, 0, line, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncore  tile   mean LLC latency (cycles)")
+	for core := 0; core < die.NumCores(); core++ {
+		if math.IsNaN(profile[core]) {
+			fmt.Printf("%4d  %v   (keeper core, not probed)\n", core, die.CoreCoord(core))
+			continue
+		}
+		bar := ""
+		for i := 0.0; i < profile[core]-55; i += 2 {
+			bar += "#"
+		}
+		fmt.Printf("%4d  %v   %6.1f %s\n", core, die.CoreCoord(core), profile[core], bar)
+	}
+
+	guess := recon.DiscoverSlice(die, profile)
+	fmt.Printf("\nrecovered home slice: %d at tile %v — ", guess, die.SliceCoord(guess))
+	if guess == truth {
+		fmt.Println("correct")
+	} else {
+		fmt.Printf("wrong (truth %d)\n", truth)
+	}
+}

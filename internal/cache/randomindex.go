@@ -1,0 +1,31 @@
+package cache
+
+// KeyedIndex returns an IndexFn that permutes set indices with a keyed
+// mixing function, one key per domain. It models randomized-LLC defences
+// (e.g. Scatter-and-Split style designs referenced in §4.4): an attacker in
+// one domain can no longer construct addresses that collide in the victim
+// domain's sets, which breaks set-conflict channels such as Prime+Probe,
+// while occupancy-style channels (SPP) survive.
+//
+// Domains without a key fall back to hardware indexing, so the defence can
+// be applied selectively.
+func KeyedIndex(keys map[Domain]uint64) IndexFn {
+	// Copy to decouple from the caller.
+	k := make(map[Domain]uint64, len(keys))
+	for d, v := range keys {
+		k[d] = v
+	}
+	return func(d Domain, line Line, sets int) int {
+		key, ok := k[d]
+		if !ok {
+			return LowBitsIndex(d, line, sets)
+		}
+		x := uint64(line) ^ key
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return int(x & uint64(sets-1))
+	}
+}

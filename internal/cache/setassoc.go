@@ -1,0 +1,167 @@
+// Package cache implements the functional cache hierarchy of the evaluation
+// platform (Table 1): private 8-way 32 KiB L1s, private inclusive 16-way
+// 1 MiB L2s, and a shared non-inclusive 11-way sliced LLC distributed over
+// the mesh tiles. It provides the primitives the paper's workloads are
+// built from: eviction lists that bypass the L2 (Listing 1), pointer-chase
+// lists (Listing 2), timed loads (Listing 3), clflush, and the defensive
+// variants (randomized indexing, way/slice partitioning) evaluated in
+// Table 3.
+//
+// The package is purely functional: it decides hit levels and evictions.
+// Latency is assigned by internal/timing from the hit level, the mesh hop
+// count, and the current uncore frequency.
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Line is a physical cache-line address (the physical byte address shifted
+// right by 6).
+type Line uint64
+
+// SetAssoc is one set-associative cache array with true-LRU replacement.
+// Insertion can be restricted to a way range, which is how way-partitioning
+// defences are expressed.
+type SetAssoc struct {
+	sets  int
+	ways  int
+	lines []Line
+	valid []bool
+	age   []uint64
+	stamp uint64
+}
+
+// NewSetAssoc returns a cache array with the given geometry. sets must be a
+// power of two (hardware indexes with address bits).
+func NewSetAssoc(sets, ways int) *SetAssoc {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache: non-positive way count %d", ways))
+	}
+	n := sets * ways
+	return &SetAssoc{
+		sets:  sets,
+		ways:  ways,
+		lines: make([]Line, n),
+		valid: make([]bool, n),
+		age:   make([]uint64, n),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+func (c *SetAssoc) checkSet(set int) {
+	if set < 0 || set >= c.sets {
+		panic(fmt.Sprintf("cache: set %d out of range [0,%d)", set, c.sets))
+	}
+}
+
+// Lookup reports whether line is present in set, updating LRU state on a
+// hit.
+func (c *SetAssoc) Lookup(set int, line Line) bool {
+	c.checkSet(set)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == line {
+			c.stamp++
+			c.age[i] = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports presence without touching LRU state (a probe, not an
+// access).
+func (c *SetAssoc) Contains(set int, line Line) bool {
+	c.checkSet(set)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places line into set, evicting the LRU line if the set is full.
+// It returns the evicted line, if any. Insert does not check for prior
+// presence; callers perform Lookup first.
+func (c *SetAssoc) Insert(set int, line Line) (evicted Line, wasEvicted bool) {
+	return c.InsertWays(set, line, 0, c.ways)
+}
+
+// InsertWays is Insert restricted to the way range [wayLo, wayLo+wayN):
+// the victim is chosen only among those ways. This models way-partitioned
+// caches, where a security domain may allocate only into its own ways.
+func (c *SetAssoc) InsertWays(set int, line Line, wayLo, wayN int) (evicted Line, wasEvicted bool) {
+	c.checkSet(set)
+	if wayLo < 0 || wayN <= 0 || wayLo+wayN > c.ways {
+		panic(fmt.Sprintf("cache: way range [%d,%d) outside [0,%d)", wayLo, wayLo+wayN, c.ways))
+	}
+	base := set * c.ways
+	victim := -1
+	for w := wayLo; w < wayLo+wayN; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if victim == -1 || c.age[i] < c.age[victim] {
+			victim = i
+		}
+	}
+	i := victim
+	if c.valid[i] {
+		evicted, wasEvicted = c.lines[i], true
+	}
+	c.stamp++
+	c.lines[i] = line
+	c.valid[i] = true
+	c.age[i] = c.stamp
+	return evicted, wasEvicted
+}
+
+// Remove invalidates line in set if present, reporting whether it was.
+func (c *SetAssoc) Remove(set int, line Line) bool {
+	c.checkSet(set)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == line {
+			c.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines in set.
+func (c *SetAssoc) Occupancy(set int) int {
+	c.checkSet(set)
+	base := set * c.ways
+	n := 0
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line in the array.
+func (c *SetAssoc) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}

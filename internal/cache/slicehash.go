@@ -1,0 +1,83 @@
+package cache
+
+import "fmt"
+
+// SliceHash maps a physical line address to an LLC slice. On Intel Xeon
+// parts the mapping is an undocumented XOR of physical-address bits chosen
+// per tile count (§2.1; the 28-tile function was reverse engineered by
+// McCalpin). We use an XOR-fold with the same key property the attacks rely
+// on: the mapping is uniform, fixed for a given part, and a function of the
+// physical address only.
+type SliceHash interface {
+	// Slices returns the number of slices addressed by the hash.
+	Slices() int
+	// Slice returns the slice index for a line, in [0, Slices()).
+	Slice(line Line) int
+}
+
+// XORFoldHash hashes by XOR-folding the line address down to as many bits
+// as needed and reducing modulo the slice count. For power-of-two slice
+// counts this is a pure XOR of address-bit groups, structurally like the
+// documented reverse-engineered hashes.
+type XORFoldHash struct {
+	n int
+}
+
+// NewXORFoldHash returns a hash over n slices. n must be positive.
+func NewXORFoldHash(n int) XORFoldHash {
+	if n <= 0 {
+		panic(fmt.Sprintf("cache: slice count %d must be positive", n))
+	}
+	return XORFoldHash{n: n}
+}
+
+// Slices implements SliceHash.
+func (h XORFoldHash) Slices() int { return h.n }
+
+// Slice implements SliceHash.
+func (h XORFoldHash) Slice(line Line) int {
+	x := uint64(line)
+	// Mix so that nearby lines spread across slices, as the real hash
+	// does (consecutive lines hit different slices).
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(h.n))
+}
+
+// SubsetHash restricts an underlying hash to an allowed subset of slices,
+// folding disallowed slices onto allowed ones. It models the fine-grained
+// uncore partitioning defence of §4.4, where each security domain is
+// assigned half of the LLC slices ("with two domains, each domain is
+// assigned with half of the LLC slices").
+type SubsetHash struct {
+	base    SliceHash
+	allowed []int
+}
+
+// NewSubsetHash wraps base so that all lines map into allowed. allowed must
+// be non-empty and name valid slices of base.
+func NewSubsetHash(base SliceHash, allowed []int) SubsetHash {
+	if len(allowed) == 0 {
+		panic("cache: subset hash needs at least one allowed slice")
+	}
+	for _, s := range allowed {
+		if s < 0 || s >= base.Slices() {
+			panic(fmt.Sprintf("cache: allowed slice %d outside base hash range %d", s, base.Slices()))
+		}
+	}
+	cp := make([]int, len(allowed))
+	copy(cp, allowed)
+	return SubsetHash{base: base, allowed: cp}
+}
+
+// Slices implements SliceHash; it reports the base slice count since slice
+// IDs keep their physical meaning.
+func (h SubsetHash) Slices() int { return h.base.Slices() }
+
+// Slice implements SliceHash.
+func (h SubsetHash) Slice(line Line) int {
+	return h.allowed[h.base.Slice(line)%len(h.allowed)]
+}

@@ -1,0 +1,62 @@
+package cache
+
+// Transaction models the part of Intel TSX that Prime+Abort exploits
+// (§ Table 3): a hardware transaction tracks a read/write set of cache
+// lines, and a conflict eviction of a tracked line aborts the transaction
+// immediately — giving the attacker a timer-free eviction signal.
+//
+// A Transaction registers a single watcher with the hierarchy at creation
+// and is reused across rounds with Begin/End, mirroring how a Prime+Abort
+// attacker re-enters transactions in a loop.
+type Transaction struct {
+	h       *Hierarchy
+	tracked map[Line]bool
+	active  bool
+	aborted bool
+	aborts  uint64
+}
+
+// NewTransaction returns an inactive transaction bound to h.
+func NewTransaction(h *Hierarchy) *Transaction {
+	t := &Transaction{h: h, tracked: make(map[Line]bool)}
+	h.Watch(func(line Line, _ int) {
+		if t.active && t.tracked[line] {
+			t.aborted = true
+			t.active = false
+			t.aborts++
+		}
+	})
+	return t
+}
+
+// Begin starts a fresh transaction with an empty tracked set.
+func (t *Transaction) Begin() {
+	t.active = true
+	t.aborted = false
+	for k := range t.tracked {
+		delete(t.tracked, k)
+	}
+}
+
+// Track adds line to the transaction's read set. Prime+Abort tracks the
+// lines it primed into the target LLC set.
+func (t *Transaction) Track(line Line) {
+	if !t.active {
+		return
+	}
+	t.tracked[line] = true
+}
+
+// Aborted reports whether the transaction has been aborted by a conflict
+// eviction since Begin.
+func (t *Transaction) Aborted() bool { return t.aborted }
+
+// End commits (or discards) the transaction and reports whether it had
+// aborted.
+func (t *Transaction) End() bool {
+	t.active = false
+	return t.aborted
+}
+
+// Aborts returns the cumulative abort count, for diagnostics.
+func (t *Transaction) Aborts() uint64 { return t.aborts }

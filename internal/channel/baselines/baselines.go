@@ -1,0 +1,135 @@
+// Package baselines implements the ten prior uncore covert channels the
+// paper compares against in Table 3, each at the fidelity needed to decide
+// functionality (✓/✗) under the table's prerequisite and defence columns:
+//
+//	Flush+Reload, Flush+Flush, Reload+Refresh   (data reuse)
+//	Prime+Probe, Prime+Abort, SPP               (LLC set conflict / occupancy)
+//	Mesh-contention, Ring-contention            (interconnect contention)
+//	IccCoresCovert                              (PMU current contention)
+//	Uncore-idle                                 (idle power states)
+//
+// Every channel runs against the same simulated platform as UF-variation,
+// through the functional cache hierarchy, mesh model, PMU power
+// accounting, and C-state machinery, so a defence breaks a channel (or
+// fails to) for the same structural reason as on real silicon.
+package baselines
+
+import (
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// Channel is one Table 3 row.
+type Channel interface {
+	// Name is the row label.
+	Name() string
+	// Interconnect is the topology the channel targets (ring for
+	// Ring-contention, mesh otherwise).
+	Interconnect() mesh.Kind
+	// Run transmits bits over m, which must have env already applied,
+	// and returns the evaluated result. A channel whose prerequisites
+	// are unavailable, or that structurally cannot operate under the
+	// environment, returns a chance-level result rather than an error.
+	Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error)
+}
+
+// All returns every Table 3 baseline, in row order.
+func All() []Channel {
+	return []Channel{
+		&FlushReload{},
+		&FlushFlush{},
+		&ReloadRefresh{},
+		&PrimeProbe{},
+		&PrimeAbort{},
+		&SPP{},
+		&Contention{},
+		&Contention{Ring: true},
+		&IccCoresCovert{},
+		&UncoreIdle{},
+	}
+}
+
+// broken returns the result of a channel that cannot carry information in
+// the given environment: the receiver decodes a constant stream, which
+// against a random payload is chance level.
+func broken(bits channel.Bits, interval sim.Time) channel.Result {
+	return channel.Evaluate(bits, make(channel.Bits, len(bits)), interval)
+}
+
+// bitAt returns the payload bit whose interval covers the instant at,
+// given the transmission start and interval, or -1 outside transmission.
+func bitAt(bits channel.Bits, start, interval, at sim.Time) int {
+	if at < start {
+		return -1
+	}
+	idx := int((at - start) / interval)
+	if idx >= len(bits) {
+		return -1
+	}
+	return bits[idx]
+}
+
+// lastQuantum reports whether the quantum starting at 'at' is the final
+// quantum of its transmission interval.
+func lastQuantum(start, interval, quantum, at sim.Time) (idx int, last bool) {
+	if at < start {
+		return 0, false
+	}
+	rel := at - start
+	idx = int(rel / interval)
+	off := rel % interval
+	return idx, off >= interval-quantum
+}
+
+// run drives a prepared sender/receiver pair to completion.
+func run(m *system.Machine, lead, interval sim.Time, n int) {
+	m.Run(lead + interval*sim.Time(n) + 2*m.Config().Quantum)
+}
+
+// adaptiveThreshold derives a decode threshold from per-interval metrics
+// using a known training preamble: the midpoint between the mean metric of
+// training "1"s and "0"s. It returns ok=false when the preamble carried no
+// usable contrast.
+func adaptiveThreshold(metrics []float64, bits channel.Bits, trainLen int) (thr float64, oneIsHigh, ok bool) {
+	var s1, s0 float64
+	var n1, n0 int
+	for i := 0; i < trainLen && i < len(bits); i++ {
+		if bits[i] == 1 {
+			s1 += metrics[i]
+			n1++
+		} else {
+			s0 += metrics[i]
+			n0++
+		}
+	}
+	if n1 == 0 || n0 == 0 {
+		return 0, false, false
+	}
+	m1, m0 := s1/float64(n1), s0/float64(n0)
+	return (m1 + m0) / 2, m1 > m0, true
+}
+
+// decodeByThreshold maps per-interval metrics to bits.
+func decodeByThreshold(metrics []float64, thr float64, oneIsHigh bool) channel.Bits {
+	out := make(channel.Bits, len(metrics))
+	for i, v := range metrics {
+		if (v > thr) == oneIsHigh {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// TrainPreamble is the alternating known prefix channels with adaptive
+// thresholds prepend for calibration.
+var TrainPreamble = channel.Bits{1, 0, 1, 0, 1, 0, 1, 0}
+
+// withPreamble prepends the training preamble to payload.
+func withPreamble(payload channel.Bits) channel.Bits {
+	out := make(channel.Bits, 0, len(TrainPreamble)+len(payload))
+	out = append(out, TrainPreamble...)
+	return append(out, payload...)
+}

@@ -1,0 +1,191 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func newMachine(seed uint64, kind int) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+// transmit runs ch on a fresh baseline machine.
+func transmit(t *testing.T, ch Channel, env defense.Env, seed uint64, n int) channel.Result {
+	t.Helper()
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Interconnect = ch.Interconnect()
+	m := system.New(cfg)
+	env.Apply(m)
+	bits := channel.RandomBits(m.Rand(99), n)
+	res, err := ch.Run(m, env, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllChannelsFunctionalAtBaseline(t *testing.T) {
+	for _, ch := range All() {
+		ch := ch
+		t.Run(ch.Name(), func(t *testing.T) {
+			res := transmit(t, ch, defense.Baseline(), 11, 24)
+			if !res.Functional() {
+				t.Errorf("%s not functional at baseline (BER %.2f)", ch.Name(), res.BER)
+			}
+		})
+	}
+}
+
+func TestAllList(t *testing.T) {
+	chs := All()
+	if len(chs) != 10 {
+		t.Fatalf("All() returns %d channels, want the 10 Table 3 baselines", len(chs))
+	}
+	seen := map[string]bool{}
+	for _, c := range chs {
+		if seen[c.Name()] {
+			t.Errorf("duplicate channel %q", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+	if !seen["Ring-contention"] {
+		t.Error("ring variant missing")
+	}
+}
+
+func TestFlushReloadNeedsPrereqs(t *testing.T) {
+	env := defense.Baseline()
+	env.SharedMemory = false
+	res := transmit(t, &FlushReload{}, env, 12, 64)
+	if res.Functional() {
+		t.Error("Flush+Reload functional without shared memory")
+	}
+	env = defense.Baseline()
+	env.CLFlush = false
+	res = transmit(t, &FlushReload{}, env, 13, 64)
+	if res.Functional() {
+		t.Error("Flush+Reload functional without clflush")
+	}
+}
+
+func TestPrimeAbortNeedsTSX(t *testing.T) {
+	env := defense.Baseline()
+	env.TSX = false
+	res := transmit(t, &PrimeAbort{}, env, 14, 64)
+	if res.Functional() {
+		t.Error("Prime+Abort functional without TSX")
+	}
+}
+
+func TestPrimeProbeDiesUnderRandomization(t *testing.T) {
+	env := defense.Baseline()
+	env.RandomizedLLC = true
+	res := transmit(t, &PrimeProbe{}, env, 15, 64)
+	if res.Functional() {
+		t.Errorf("Prime+Probe functional under randomized LLC (BER %.2f)", res.BER)
+	}
+}
+
+func TestSPPSurvivesRandomization(t *testing.T) {
+	env := defense.Baseline()
+	env.RandomizedLLC = true
+	res := transmit(t, &SPP{}, env, 16, 16)
+	if !res.Functional() {
+		t.Errorf("SPP broken under randomized LLC (BER %.2f); beating it is its purpose", res.BER)
+	}
+}
+
+func TestContentionDiesUnderTDM(t *testing.T) {
+	env := defense.Baseline()
+	env.FinePartition = true
+	res := transmit(t, &Contention{}, env, 17, 64)
+	if res.Functional() {
+		t.Errorf("mesh contention functional under TDM partitioning (BER %.2f)", res.BER)
+	}
+}
+
+func TestIccDiesAcrossSockets(t *testing.T) {
+	env := defense.Baseline()
+	env.CoarsePartition = true
+	res := transmit(t, &IccCoresCovert{}, env, 18, 64)
+	if res.Functional() {
+		t.Errorf("IccCoresCovert functional across sockets (BER %.2f)", res.BER)
+	}
+}
+
+func TestUncoreIdleDiesUnderLoad(t *testing.T) {
+	env := defense.Baseline()
+	env.StressThreads = 4
+	res := transmit(t, &UncoreIdle{}, env, 19, 32)
+	if res.Functional() {
+		t.Errorf("Uncore-idle functional under stress (BER %.2f); it needs an idle machine", res.BER)
+	}
+}
+
+func TestUncoreIdleSurvivesCoarsePartition(t *testing.T) {
+	env := defense.Baseline()
+	env.CoarsePartition = true
+	res := transmit(t, &UncoreIdle{}, env, 20, 16)
+	if !res.Functional() {
+		t.Errorf("Uncore-idle broken across sockets (BER %.2f)", res.BER)
+	}
+}
+
+func TestAdaptiveThreshold(t *testing.T) {
+	metrics := []float64{10, 2, 10, 2, 10, 2, 10, 2, 9, 3}
+	bits := channel.Bits{1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	thr, oneHigh, ok := adaptiveThreshold(metrics, bits, 8)
+	if !ok || !oneHigh || thr != 6 {
+		t.Fatalf("threshold = %v high=%v ok=%v", thr, oneHigh, ok)
+	}
+	decoded := decodeByThreshold(metrics[8:], thr, oneHigh)
+	if decoded[0] != 1 || decoded[1] != 0 {
+		t.Errorf("decoded %v", decoded)
+	}
+	// A constant preamble is unusable.
+	if _, _, ok := adaptiveThreshold([]float64{1, 1}, channel.Bits{1, 1}, 2); ok {
+		t.Error("one-sided preamble accepted")
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	bits := channel.Bits{1, 0, 1}
+	start := sim.Time(100 * sim.Millisecond)
+	iv := 10 * sim.Millisecond
+	if bitAt(bits, start, iv, start-1) != -1 {
+		t.Error("bitAt before start")
+	}
+	if bitAt(bits, start, iv, start+15*sim.Millisecond) != 0 {
+		t.Error("bitAt mid")
+	}
+	if bitAt(bits, start, iv, start+35*sim.Millisecond) != -1 {
+		t.Error("bitAt past end")
+	}
+	idx, last := lastQuantum(start, iv, 200*sim.Microsecond, start+iv-200*sim.Microsecond)
+	if idx != 0 || !last {
+		t.Errorf("lastQuantum = %d,%v", idx, last)
+	}
+	_, last = lastQuantum(start, iv, 200*sim.Microsecond, start)
+	if last {
+		t.Error("first quantum reported last")
+	}
+}
+
+func TestBrokenIsChanceLevel(t *testing.T) {
+	rng := sim.NewRand(3)
+	bits := channel.RandomBits(rng, 400)
+	res := broken(bits, sim.Millisecond)
+	if res.BER < 0.4 || res.BER > 0.6 {
+		t.Errorf("broken channel BER %.2f, want ≈0.5", res.BER)
+	}
+	if res.Functional() {
+		t.Error("broken channel reported functional")
+	}
+}

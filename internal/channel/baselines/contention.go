@@ -1,0 +1,200 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Contention is the interconnect-contention channel family (§2.3): the
+// receiver times LLC loads whose route crosses a set of links; to send a
+// "1" the sender drives dense traffic over those links, delaying the
+// receiver's loads. The mesh variant models Dai et al.'s attack, the ring
+// variant Paccagnella et al.'s.
+//
+// The attacker also runs a keeper thread that holds the uncore at its
+// maximum frequency throughout, so latency changes reflect contention
+// rather than UFS (the paper's own channel exploits exactly the variation
+// this keeper suppresses).
+type Contention struct {
+	// Ring selects the ring-bus topology row.
+	Ring bool
+}
+
+// Name implements Channel.
+func (c *Contention) Name() string {
+	if c.Ring {
+		return "Ring-contention"
+	}
+	return "Mesh-contention"
+}
+
+// Interconnect implements Channel.
+func (c *Contention) Interconnect() mesh.Kind {
+	if c.Ring {
+		return mesh.KindRing
+	}
+	return mesh.KindMesh
+}
+
+const contInterval = 4 * sim.Millisecond
+
+// Run implements Channel.
+func (c *Contention) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	pl := env.Placement()
+	rSock := m.Socket(pl.ReceiverSocket)
+	sSock := m.Socket(pl.SenderSocket)
+	die := rSock.Die
+
+	// Receiver probe: a slice several hops away, so the route crosses
+	// a usable set of links — and one the receiver's own domain can
+	// allocate on (slice partitioning confines each domain to a half).
+	probeSlice := -1
+	from := die.CoreCoord(pl.ReceiverCore)
+	for _, wantHops := range []int{3, 2, 4, 1, 5, 6, 7} {
+		for s := 0; s < die.NumSlices() && probeSlice < 0; s++ {
+			if from.Hops(die.SliceCoord(s)) == wantHops && CanMapSlice(rSock.Hier, pl.ReceiverDomain, s) {
+				probeSlice = s
+			}
+		}
+		if probeSlice >= 0 {
+			break
+		}
+	}
+	if probeSlice < 0 {
+		return broken(bits, contInterval), nil
+	}
+	lines, err := memsys.EvictionList(rSock.Hier, pl.ReceiverDomain, memsys.NewAllocator(), 300, probeSlice, 20)
+	if err != nil {
+		return channel.Result{}, err
+	}
+
+	// Sender cores: the three whose route to the probe slice shares the
+	// most links with the receiver's probe route (computed on the
+	// sender's own die — under coarse partitioning that die is a
+	// different socket and the traffic lands on the wrong mesh).
+	probeRoute := rSock.Mesh.Route(die.CoreCoord(pl.ReceiverCore), die.SliceCoord(probeSlice))
+	inProbe := map[mesh.Link]bool{}
+	for _, l := range probeRoute {
+		inProbe[l] = true
+		inProbe[mesh.Link{From: l.To, To: l.From}] = true
+	}
+	// Keeper: pins the receiver-side uncore at freq_max.
+	kc := m.FreeCore(pl.ReceiverSocket, pl.ReceiverCore, pl.SenderCore)
+	if kc < 0 {
+		return broken(bits, contInterval), nil
+	}
+
+	type cand struct{ core, shared int }
+	var cands []cand
+	sDie := sSock.Die
+	for core := 0; core < sDie.NumCores(); core++ {
+		if m.CoreBusy(pl.SenderSocket, core) {
+			continue
+		}
+		if pl.SenderSocket == pl.ReceiverSocket && (core == pl.ReceiverCore || core == kc) {
+			continue
+		}
+		if core == pl.SenderCore {
+			continue
+		}
+		n := 0
+		target := probeSlice
+		if target >= sDie.NumSlices() {
+			target = 0
+		}
+		for _, l := range sSock.Mesh.Route(sDie.CoreCoord(core), sDie.SliceCoord(target)) {
+			if inProbe[l] || inProbe[mesh.Link{From: l.To, To: l.From}] {
+				n++
+			}
+		}
+		cands = append(cands, cand{core, n})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].shared > cands[j].shared })
+
+	// The keeper needs ~90 ms to drag the uncore to its maximum; the
+	// calibration preamble must run at the pinned operating point.
+	const lead = 150 * sim.Millisecond
+	start := m.Now() + lead
+	all := withPreamble(bits)
+
+	kslice, ok := die.SliceAtHops(kc, 3)
+	if !ok {
+		kslice, _ = die.SliceAtHops(kc, 2)
+	}
+	keeper := m.Spawn(unique(m, "cont-keeper"), pl.ReceiverSocket, kc, pl.ReceiverDomain, &workload.Traffic{Slice: kslice})
+
+	// Sender: three traffic threads toward the probe slice, gated by
+	// the current bit.
+	var senders []*system.Thread
+	target := probeSlice
+	if target >= sDie.NumSlices() {
+		target = 0
+	}
+	mkSender := func(core int) *system.Thread {
+		tr := &workload.Traffic{Slice: target}
+		w := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+			if bitAt(all, start, contInterval, ctx.Start()) == 1 {
+				return tr.Step(ctx)
+			}
+			return system.Activity{}
+		})
+		return m.Spawn(unique(m, "cont-sender"), pl.SenderSocket, core, pl.SenderDomain, w)
+	}
+	senders = append(senders, mkSender(pl.SenderCore))
+	for i := 0; i < 2 && i < len(cands); i++ {
+		senders = append(senders, mkSender(cands[i].core))
+	}
+
+	// Receiver: per-interval mean probe latency.
+	sums := make([]float64, len(all))
+	counts := make([]int, len(all))
+	pos := 0
+	receiver := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		rel := ctx.Start() - start
+		if rel >= 0 {
+			idx := int(rel / contInterval)
+			if idx < len(all) {
+				for i := 0; i < 12 && ctx.Remaining() > 0; i++ {
+					sums[idx] += ctx.TimedAccess(lines[pos])
+					counts[idx]++
+					pos = (pos + 1) % len(lines)
+				}
+			}
+		} else {
+			// Warm-up keeps the list resident.
+			for i := 0; i < 12 && ctx.Remaining() > 0; i++ {
+				ctx.TimedAccess(lines[pos])
+				pos = (pos + 1) % len(lines)
+			}
+		}
+		return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+	})
+	rt := m.Spawn(unique(m, "cont-receiver"), pl.ReceiverSocket, pl.ReceiverCore, pl.ReceiverDomain, receiver)
+
+	run(m, lead, contInterval, len(all))
+	keeper.Stop()
+	rt.Stop()
+	for _, s := range senders {
+		s.Stop()
+	}
+
+	metrics := make([]float64, len(all))
+	for i := range metrics {
+		if counts[i] > 0 {
+			metrics[i] = sums[i] / float64(counts[i])
+		}
+	}
+	thr, oneHigh, ok2 := adaptiveThreshold(metrics, all, len(TrainPreamble))
+	if !ok2 {
+		return broken(bits, contInterval), nil
+	}
+	decoded := decodeByThreshold(metrics[len(TrainPreamble):], thr, oneHigh)
+	return channel.Evaluate(bits, decoded, contInterval), nil
+}

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// flushInterval is the per-bit interval of the flush-family channels; they
+// are orders of magnitude faster than UF-variation.
+const flushInterval = 2 * sim.Millisecond
+
+// FlushReload is the classic data-reuse channel: the receiver flushes a
+// shared line and later times a reload; a fast (cache-served) reload means
+// the sender touched the line. It requires shared memory and clflush.
+type FlushReload struct{}
+
+// Name implements Channel.
+func (*FlushReload) Name() string { return "Flush+Reload" }
+
+// Interconnect implements Channel.
+func (*FlushReload) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+// Run implements Channel.
+func (*FlushReload) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	return runFlushFamily(m, env, bits, false)
+}
+
+// FlushFlush decodes from the latency of clflush itself, which is higher
+// when the line is cached anywhere; the receiver never performs a load.
+type FlushFlush struct{}
+
+// Name implements Channel.
+func (*FlushFlush) Name() string { return "Flush+Flush" }
+
+// Interconnect implements Channel.
+func (*FlushFlush) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+// Run implements Channel.
+func (*FlushFlush) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	return runFlushFamily(m, env, bits, true)
+}
+
+func runFlushFamily(m *system.Machine, env defense.Env, bits channel.Bits, byFlushTime bool) (channel.Result, error) {
+	if !env.EffectiveSharedMemory() || !env.CLFlush {
+		return broken(bits, flushInterval), nil
+	}
+	pl := env.Placement()
+	shared := memsys.NewAllocator().Reserve(1)[0]
+	start := m.Now() + 10*sim.Millisecond
+	q := m.Config().Quantum
+
+	sender := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		if bitAt(bits, start, flushInterval, ctx.Start()) == 1 {
+			// Re-touch the shared line a few times during the
+			// interval so the reload is served from this core's
+			// private cache.
+			ctx.Access(shared)
+			return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+		}
+		return system.Activity{}
+	})
+
+	decoded := make(channel.Bits, len(bits))
+	receiver := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		idx, last := lastQuantum(start, flushInterval, q, ctx.Start())
+		if last && idx < len(bits) {
+			if byFlushTime {
+				// Flush+Flush: one timed clflush both measures and
+				// resets.
+				if ctx.Flush(shared) > 35 {
+					decoded[idx] = 1
+				}
+			} else {
+				// Flush+Reload: timed reload, then reset with an
+				// untimed flush.
+				lat := ctx.TimedAccess(shared)
+				if lat < 200 {
+					decoded[idx] = 1
+				}
+				ctx.Flush(shared)
+			}
+		}
+		return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+	})
+
+	st := m.Spawn(unique(m, "fr-sender"), pl.SenderSocket, pl.SenderCore, pl.SenderDomain, sender)
+	rt := m.Spawn(unique(m, "fr-receiver"), pl.ReceiverSocket, pl.ReceiverCore, pl.ReceiverDomain, receiver)
+	run(m, 10*sim.Millisecond, flushInterval, len(bits))
+	st.Stop()
+	rt.Stop()
+	return channel.Evaluate(bits, decoded, flushInterval), nil
+}
+
+// unique derives a thread name unique to the machine's current time, so
+// repeated channel runs on one machine do not collide.
+func unique(m *system.Machine, base string) string {
+	return base + "@" + m.Now().String()
+}

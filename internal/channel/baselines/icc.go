@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// IccCoresCovert exploits contention on the socket's shared voltage
+// regulator (IChannels): when the total current demand exceeds the
+// regulator's fast-response budget, the power-management unit briefly
+// throttles all cores, which the receiver observes as its calibration
+// loop running slow. No cache or interconnect structure is involved, so
+// LLC randomization and intra-socket partitioning do not help — only
+// giving each party its own regulator (a separate socket) does.
+type IccCoresCovert struct{}
+
+// Name implements Channel.
+func (*IccCoresCovert) Name() string { return "IccCoresCovert" }
+
+// Interconnect implements Channel.
+func (*IccCoresCovert) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+const (
+	iccInterval = 2 * sim.Millisecond
+	// iccBudget is the regulator's un-throttled current budget and
+	// iccSlowdown the relative loop-time increase per excess unit.
+	iccBudget   = 1.8
+	iccSlowdown = 0.10
+	// iccSenderPower is the draw of the sender's power-virus loop
+	// (wide vector units lit continuously).
+	iccSenderPower = 3.0
+)
+
+// Run implements Channel.
+func (*IccCoresCovert) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	pl := env.Placement()
+	start := m.Now() + 10*sim.Millisecond
+	all := withPreamble(bits)
+
+	sender := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		if bitAt(all, start, iccInterval, ctx.Start()) == 1 {
+			cycles := ctx.CoreFreq().CyclesIn(ctx.Quantum())
+			return system.Activity{Active: true, Cycles: cycles, PowerUnits: iccSenderPower}
+		}
+		return system.Activity{}
+	})
+
+	// Receiver: a calibrated arithmetic loop per quantum; its observed
+	// duration stretches when the regulator throttles. The reading uses
+	// the receiver's own socket — contention is per-regulator.
+	sums := make([]float64, len(all))
+	counts := make([]int, len(all))
+	receiver := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		rel := ctx.Start() - start
+		if rel >= 0 {
+			idx := int(rel / iccInterval)
+			if idx < len(all) {
+				draw := ctx.Thread().Sock.QuantumPower() + 0.6 // plus our own loop
+				over := draw - iccBudget
+				if over < 0 {
+					over = 0
+				}
+				loop := 10000 * (1 + iccSlowdown*over)
+				loop += ctx.Rng().Norm(0, 40)
+				sums[idx] += loop
+				counts[idx]++
+			}
+		}
+		cycles := ctx.CoreFreq().CyclesIn(ctx.Quantum())
+		return system.Activity{Active: true, Cycles: cycles, PowerUnits: 0.6}
+	})
+
+	stth := m.Spawn(unique(m, "icc-sender"), pl.SenderSocket, pl.SenderCore, pl.SenderDomain, sender)
+	rt := m.Spawn(unique(m, "icc-receiver"), pl.ReceiverSocket, pl.ReceiverCore, pl.ReceiverDomain, receiver)
+	run(m, 10*sim.Millisecond, iccInterval, len(all))
+	stth.Stop()
+	rt.Stop()
+
+	metrics := make([]float64, len(all))
+	for i := range metrics {
+		if counts[i] > 0 {
+			metrics[i] = sums[i] / float64(counts[i])
+		}
+	}
+	thr, oneHigh, ok := adaptiveThreshold(metrics, all, len(TrainPreamble))
+	if !ok {
+		return broken(bits, iccInterval), nil
+	}
+	decoded := decodeByThreshold(metrics[len(TrainPreamble):], thr, oneHigh)
+	return channel.Evaluate(bits, decoded, iccInterval), nil
+}

@@ -1,0 +1,214 @@
+package baselines
+
+import (
+	"repro/internal/cache"
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// ppInterval is the per-bit interval of the set-conflict channels.
+const ppInterval = 3 * sim.Millisecond
+
+// agreedLLCSet is the LLC set index the parties agree on out of band.
+const agreedLLCSet = 0x155
+
+// CanMapSlice reports whether domain d can allocate lines homed on the
+// given physical slice — false when slice partitioning confines the domain
+// to a different half of the LLC.
+func CanMapSlice(h *cache.Hierarchy, d cache.Domain, slice int) bool {
+	for l := cache.Line(1 << 21); l < 1<<21+4096; l++ {
+		if h.SliceOf(d, l) == slice {
+			return true
+		}
+	}
+	return false
+}
+
+// paddingLines returns lines that share the L2 set of the agreed LLC set
+// but map to its bit-10 sibling LLC set: walking them pushes a primed
+// conflict set out of the private L2 and into the LLC without disturbing
+// the target set.
+func paddingLines(geom cache.Geometry, n int) []cache.Line {
+	sibling := agreedLLCSet ^ (geom.LLCSets >> 1)
+	out := make([]cache.Line, 0, n)
+	for k := 1; len(out) < n; k++ {
+		out = append(out, cache.Line(sibling)+cache.Line(k*geom.LLCSets))
+	}
+	return out
+}
+
+// spill primes the target LLC set: it loads the conflict lines and then
+// walks padding until the conflict lines have been evicted from the
+// private L2 into the LLC.
+func spill(ctx *system.Ctx, prime, pad []cache.Line) {
+	for _, l := range prime {
+		ctx.Access(l)
+	}
+	for _, l := range pad {
+		ctx.Access(l)
+	}
+}
+
+// ppSetup builds both parties' conflict sets for the agreed (slice, set).
+type ppSetup struct {
+	slice                int
+	recvPrime, sendEvict []cache.Line
+	pad                  []cache.Line
+	reachable            bool
+}
+
+func newPPSetup(m *system.Machine, env defense.Env) (ppSetup, error) {
+	pl := env.Placement()
+	rSock := m.Socket(pl.ReceiverSocket)
+	sSock := m.Socket(pl.SenderSocket)
+	alloc := memsys.NewAllocator()
+	geom := rSock.Hier.Geometry()
+
+	// The agreed slice must be reachable by the receiver; pick the home
+	// slice of a probe line under the receiver's mapping.
+	slice := rSock.Hier.SliceOf(pl.ReceiverDomain, 1<<21)
+	st := ppSetup{slice: slice}
+	var err error
+	st.recvPrime, err = memsys.ConflictSet(rSock.Hier, pl.ReceiverDomain, alloc, slice, agreedLLCSet, geom.LLCWays)
+	if err != nil {
+		return st, err
+	}
+	st.pad = paddingLines(geom, geom.L2Ways+4)
+
+	// The sender needs lines hitting the same physical (slice, set) on
+	// the same physical LLC. Under coarse partitioning the sockets'
+	// LLCs are disjoint; under slice partitioning the sender's domain
+	// cannot reach the receiver's slice; under randomized indexing the
+	// sender's eviction set (built through its own mapping) lands in a
+	// different physical set.
+	st.reachable = pl.SenderSocket == pl.ReceiverSocket && CanMapSlice(sSock.Hier, pl.SenderDomain, slice)
+	if st.reachable {
+		st.sendEvict, err = memsys.ConflictSet(sSock.Hier, pl.SenderDomain, alloc, slice, agreedLLCSet, geom.LLCWays+2)
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// runConflict drives the shared prime/evict/probe skeleton; decide is
+// called each interval end and returns the decoded bit.
+func runConflict(m *system.Machine, env defense.Env, bits channel.Bits,
+	st ppSetup,
+	prime func(ctx *system.Ctx),
+	decide func(ctx *system.Ctx) int,
+) channel.Result {
+	pl := env.Placement()
+	start := m.Now() + 10*sim.Millisecond
+	q := m.Config().Quantum
+
+	sender := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		rel := ctx.Start() - start
+		if st.reachable && bitAt(bits, start, ppInterval, ctx.Start()) == 1 &&
+			rel%ppInterval >= ppInterval/2 && rel%ppInterval < ppInterval/2+q {
+			spill(ctx, st.sendEvict, st.pad)
+		}
+		return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+	})
+
+	decoded := make(channel.Bits, len(bits))
+	receiver := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		rel := ctx.Start() - start
+		if rel >= 0 {
+			idx := int(rel / ppInterval)
+			off := rel % ppInterval
+			switch {
+			case off < q && idx < len(bits):
+				prime(ctx)
+			case off >= ppInterval-q && idx < len(bits):
+				decoded[idx] = decide(ctx)
+			}
+		}
+		return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+	})
+
+	stth := m.Spawn(unique(m, "pp-sender"), pl.SenderSocket, pl.SenderCore, pl.SenderDomain, sender)
+	rt := m.Spawn(unique(m, "pp-receiver"), pl.ReceiverSocket, pl.ReceiverCore, pl.ReceiverDomain, receiver)
+	run(m, 10*sim.Millisecond, ppInterval, len(bits))
+	stth.Stop()
+	rt.Stop()
+	return channel.Evaluate(bits, decoded, ppInterval)
+}
+
+// PrimeProbe is the classic LLC set-conflict channel (§2.3): the receiver
+// fills the agreed LLC set with its own lines and later times a probe of
+// them; a slow probe (a DRAM-served miss) means the sender evicted them.
+type PrimeProbe struct{}
+
+// Name implements Channel.
+func (*PrimeProbe) Name() string { return "Prime+Probe" }
+
+// Interconnect implements Channel.
+func (*PrimeProbe) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+// Run implements Channel.
+func (*PrimeProbe) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	st, err := newPPSetup(m, env)
+	if err != nil {
+		return channel.Result{}, err
+	}
+	res := runConflict(m, env, bits, st,
+		func(ctx *system.Ctx) { spill(ctx, st.recvPrime, st.pad) },
+		func(ctx *system.Ctx) int {
+			slow := 0
+			for _, l := range st.recvPrime {
+				if ctx.TimedAccess(l) > 200 {
+					slow++
+				}
+			}
+			if slow >= 2 {
+				return 1
+			}
+			return 0
+		})
+	return res, nil
+}
+
+// PrimeAbort replaces the timed probe with a hardware transaction: the
+// primed lines are the transaction's tracked set, and a conflict eviction
+// aborts it — a timer-free signal. It requires TSX.
+type PrimeAbort struct{}
+
+// Name implements Channel.
+func (*PrimeAbort) Name() string { return "Prime+Abort" }
+
+// Interconnect implements Channel.
+func (*PrimeAbort) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+// Run implements Channel.
+func (*PrimeAbort) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	if !env.TSX {
+		return broken(bits, ppInterval), nil
+	}
+	st, err := newPPSetup(m, env)
+	if err != nil {
+		return channel.Result{}, err
+	}
+	pl := env.Placement()
+	txn := cache.NewTransaction(m.Socket(pl.ReceiverSocket).Hier)
+	res := runConflict(m, env, bits, st,
+		func(ctx *system.Ctx) {
+			txn.End()
+			txn.Begin()
+			for _, l := range st.recvPrime {
+				txn.Track(l)
+			}
+			spill(ctx, st.recvPrime, st.pad)
+		},
+		func(ctx *system.Ctx) int {
+			if txn.Aborted() {
+				return 1
+			}
+			return 0
+		})
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package baselines
+
+import (
+	"repro/internal/cache"
+	"repro/internal/channel"
+	"repro/internal/defense"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// SPP is the stochastic occupancy channel ("These Aren't The Caches You're
+// Looking For"): instead of targeting one set — impossible on a cache with
+// randomized, domain-keyed indexing — the sender floods an entire LLC
+// slice, evicting the receiver's resident lines wherever the randomized
+// mapping put them. The receiver counts how many of its parked lines
+// miss. Randomization does not help (the flood is mapping-agnostic), but
+// slice partitioning and per-socket isolation remove the shared capacity
+// entirely.
+type SPP struct{}
+
+// Name implements Channel.
+func (*SPP) Name() string { return "SPP" }
+
+// Interconnect implements Channel.
+func (*SPP) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+const (
+	// sppInterval is long: flooding a slice takes time.
+	sppInterval = 6 * sim.Millisecond
+	// sppRecvSets and sppRecvPer size the receiver's parked footprint.
+	// Per-list length exceeds the L2 associativity by more than the
+	// walk's residue, so a good half of the lines are parked in the LLC
+	// (not shadowed by the private L2) at probe time.
+	sppRecvSets, sppRecvPer = 8, 33
+)
+
+var sppDebug func(idx, miss, l2hit, llchit int)
+
+// Run implements Channel.
+func (*SPP) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	pl := env.Placement()
+	rSock := m.Socket(pl.ReceiverSocket)
+	sSock := m.Socket(pl.SenderSocket)
+	alloc := memsys.NewAllocator()
+	geom := rSock.Hier.Geometry()
+
+	// Receiver parks lines on one slice: eviction lists over a few L2
+	// sets, so a single walk pushes them all into the LLC.
+	slice := rSock.Hier.SliceOf(pl.ReceiverDomain, 1<<21)
+	recvLists, err := memsys.EvictionLists(rSock.Hier, pl.ReceiverDomain, alloc, 64, slice, sppRecvSets, sppRecvPer)
+	if err != nil {
+		return channel.Result{}, err
+	}
+	var recvLines []cache.Line
+	for _, l := range recvLists {
+		recvLines = append(recvLines, l...)
+	}
+
+	// Sender flood: enough lines on the same physical slice to fill
+	// every set past its associativity, built through the sender's own
+	// mapping (the flood needs no set agreement).
+	reachable := pl.SenderSocket == pl.ReceiverSocket && CanMapSlice(sSock.Hier, pl.SenderDomain, slice)
+	// The LLC is non-inclusive: re-accessing a resident flood line
+	// promotes it OUT of the LLC, so a reused working set oscillates
+	// around low occupancy and never fills the sets. Each burst must be
+	// a cold streaming pass, so the sender rotates through disjoint
+	// flood groups; by the time a group recurs, intervening floods have
+	// pushed its lines back to memory.
+	const floodGroups = 3
+	var floods [floodGroups][]cache.Line
+	if reachable {
+		// Each L2 set's lines spread over the slice's sets; one group
+		// must deliver more insertions per LLC set than the
+		// associativity, with Poisson slack.
+		per := 2 * (geom.LLCWays + 2)
+		for g := 0; g < floodGroups; g++ {
+			lists, err := memsys.EvictionLists(sSock.Hier, pl.SenderDomain, alloc, 0, slice, geom.L2Sets, per)
+			if err != nil {
+				return channel.Result{}, err
+			}
+			for j := 0; j < per; j++ {
+				for k := 0; k < geom.L2Sets; k++ {
+					floods[g] = append(floods[g], lists[k][j])
+				}
+			}
+		}
+	}
+
+	start := m.Now() + 10*sim.Millisecond
+	q := m.Config().Quantum
+	// Spread one full streaming pass over the middle quanta.
+	floodQuanta := int(sppInterval/q) - 4
+	perQuantum := 0
+	if reachable {
+		perQuantum = (len(floods[0]) + floodQuanta - 1) / floodQuanta
+	}
+
+	group, floodPos, lastIdx := 0, 0, -1
+	sender := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		rel := ctx.Start() - start
+		if rel < 0 && reachable {
+			// Warm-up: fill the sender's private L2 so the first
+			// burst's insertions reach the LLC rather than vanishing
+			// into a cold L2.
+			flood := floods[0]
+			for i := 0; i < perQuantum && floodPos < len(flood); i++ {
+				ctx.Access(flood[floodPos])
+				floodPos++
+			}
+			return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+		}
+		if reachable && bitAt(bits, start, sppInterval, ctx.Start()) == 1 {
+			idx := int(rel / sppInterval)
+			if idx != lastIdx {
+				// New "1" interval: advance to the next cold group.
+				lastIdx = idx
+				group = (group + 1) % floodGroups
+				floodPos = 0
+			}
+			off := rel % sppInterval
+			if off >= q && off < sppInterval-2*q {
+				flood := floods[group]
+				for i := 0; i < perQuantum && floodPos < len(flood); i++ {
+					ctx.Access(flood[floodPos])
+					floodPos++
+				}
+			}
+			return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+		}
+		return system.Activity{}
+	})
+
+	decoded := make(channel.Bits, len(bits))
+	receiver := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		rel := ctx.Start() - start
+		if rel >= 0 {
+			idx := int(rel / sppInterval)
+			off := rel % sppInterval
+			switch {
+			case off < q && idx < len(bits):
+				// Park: one rotating walk spills everything to LLC.
+				for j := 0; j < sppRecvPer; j++ {
+					for k := 0; k < sppRecvSets; k++ {
+						ctx.Access(recvLists[k][j])
+					}
+				}
+			case off >= sppInterval-q && idx < len(bits):
+				miss, l2hit, llchit := 0, 0, 0
+				for _, l := range recvLines {
+					lat := ctx.TimedAccess(l)
+					switch {
+					case lat > 200:
+						miss++
+					case lat < 30:
+						l2hit++
+					default:
+						llchit++
+					}
+				}
+				if sppDebug != nil {
+					sppDebug(idx, miss, l2hit, llchit)
+				}
+				if miss > len(recvLines)/4 {
+					decoded[idx] = 1
+				}
+			}
+		}
+		return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Remaining())}
+	})
+
+	stth := m.Spawn(unique(m, "spp-sender"), pl.SenderSocket, pl.SenderCore, pl.SenderDomain, sender)
+	rt := m.Spawn(unique(m, "spp-receiver"), pl.ReceiverSocket, pl.ReceiverCore, pl.ReceiverDomain, receiver)
+	run(m, 10*sim.Millisecond, sppInterval, len(bits))
+	stth.Stop()
+	rt.Stop()
+	return channel.Evaluate(bits, decoded, sppInterval), nil
+}

@@ -1,0 +1,77 @@
+package baselines
+
+import (
+	"repro/internal/channel"
+	"repro/internal/cpu"
+	"repro/internal/defense"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/ufs"
+	"repro/internal/workload"
+)
+
+// UncoreIdle is the idle-power-state channel (§2.3, Chen et al.): the
+// sender modulates whether the platform can fall into deep package idle —
+// keeping one core busy (bit 0) or sleeping (bit 1) — and the receiver
+// measures the wake-up latency of a network interrupt, which includes the
+// uncore's (and platform's) idle-exit time. No shared microarchitectural
+// structure is involved, so it survives every partitioning defence, but it
+// only works on an otherwise idle machine: any unrelated active core pins
+// the uncore in PC0 and the channel disappears (§2.3, Table 3).
+type UncoreIdle struct{}
+
+// Name implements Channel.
+func (*UncoreIdle) Name() string { return "Uncore-idle" }
+
+// Interconnect implements Channel.
+func (*UncoreIdle) Interconnect() mesh.Kind { return mesh.KindMesh }
+
+// idleInterval is long: C-state demotion and package-idle entry take
+// milliseconds and the PMU only re-evaluates at epoch granularity.
+const idleInterval = 40 * sim.Millisecond
+
+// Run implements Channel.
+func (*UncoreIdle) Run(m *system.Machine, env defense.Env, bits channel.Bits) (channel.Result, error) {
+	pl := env.Placement()
+	start := m.Now() + 20*sim.Millisecond
+
+	sender := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		if bitAt(bits, start, idleInterval, ctx.Start()) == 0 {
+			// Bit 0: keep a core fully active, holding the whole
+			// platform out of deep idle.
+			return workload.Nop{}.Step(ctx)
+		}
+		return system.Activity{}
+	})
+
+	// The receiver's own core and socket are asleep at probe time in
+	// both symbols (it sleeps between probes); the discriminating term
+	// is the platform deep-idle exit, which only the sender's activity
+	// suppresses.
+	threshold := cpu.C6.ExitLatency() + ufs.PCState(6).ExitLatency() + system.PlatformExitLatency/2
+
+	decoded := make(channel.Bits, len(bits))
+	q := m.Config().Quantum
+	receiver := system.WorkloadFunc(func(ctx *system.Ctx) system.Activity {
+		idx, last := lastQuantum(start, idleInterval, q, ctx.Start())
+		if last && idx < len(bits) {
+			wake := ctx.Machine().WakeLatency(pl.ReceiverSocket, pl.ReceiverCore, ctx.Rng())
+			if wake > threshold {
+				decoded[idx] = 1
+			}
+			// The wake itself briefly activates the core.
+			return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(q / 4)}
+		}
+		// Between probes the receiver sleeps, letting its own socket
+		// reach deep package idle.
+		return system.Activity{}
+	})
+
+	stth := m.Spawn(unique(m, "ui-sender"), pl.SenderSocket, pl.SenderCore, pl.SenderDomain, sender)
+	rt := m.Spawn(unique(m, "ui-receiver"), pl.ReceiverSocket, pl.ReceiverCore, pl.ReceiverDomain, receiver)
+	run(m, 20*sim.Millisecond, idleInterval, len(bits))
+	stth.Stop()
+	rt.Stop()
+	return channel.Evaluate(bits, decoded, idleInterval), nil
+}

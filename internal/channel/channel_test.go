@@ -1,0 +1,96 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRandomBits(t *testing.T) {
+	rng := sim.NewRand(1)
+	b := RandomBits(rng, 1000)
+	if len(b) != 1000 {
+		t.Fatalf("len = %d", len(b))
+	}
+	ones := 0
+	for _, bit := range b {
+		if bit != 0 && bit != 1 {
+			t.Fatalf("non-binary bit %d", bit)
+		}
+		ones += bit
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("%d/1000 ones; badly skewed", ones)
+	}
+}
+
+func TestBytesRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		bits := FromBytes(data)
+		if len(bits) != len(data)*8 {
+			return false
+		}
+		back, err := bits.ToBytes()
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsString(t *testing.T) {
+	if got := (Bits{1, 0, 1, 1}).String(); got != "1011" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Bits{}).String(); got != "" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	sent := Bits{1, 0, 1, 0}
+	got := Bits{1, 0, 0, 0}
+	res := Evaluate(sent, got, 25*sim.Millisecond)
+	if res.BER != 0.25 {
+		t.Errorf("BER = %v", res.BER)
+	}
+	if res.RawRate != 40 {
+		t.Errorf("raw rate = %v", res.RawRate)
+	}
+	if res.Capacity >= res.RawRate || res.Capacity <= 0 {
+		t.Errorf("capacity = %v out of range", res.Capacity)
+	}
+	clean := Evaluate(sent, sent, 25*sim.Millisecond)
+	if clean.Capacity != clean.RawRate {
+		t.Error("error-free capacity below raw rate")
+	}
+}
+
+func TestFunctionalThreshold(t *testing.T) {
+	// The Table 3 criterion: below a third is still "distinguishable",
+	// chance level is not.
+	if !(Result{BER: 0.2}).Functional() {
+		t.Error("BER 0.2 not functional")
+	}
+	if (Result{BER: 0.5}).Functional() {
+		t.Error("chance level reported functional")
+	}
+	if (Result{BER: 0.4}).Functional() {
+		t.Error("BER 0.4 reported functional")
+	}
+}

@@ -1,0 +1,216 @@
+// Package link provides a small reliable link layer over the raw covert
+// channels: Hamming(7,4) forward error correction, interleaving against
+// burst errors (a stress-ng burst corrupts several consecutive intervals,
+// §4.3.3), framing with a sync header, and a checksum for residual-error
+// detection. The paper's channels deliver raw bits with a few percent BER
+// near their capacity peak; this layer turns them into usable byte
+// transport, as a real exfiltration tool would.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+)
+
+// hamming74Encode expands 4 data bits into a 7-bit codeword with
+// single-error correction. Bit layout (1-indexed positions as in the
+// classic construction): p1 p2 d1 p3 d2 d3 d4.
+func hamming74Encode(nibble [4]int) [7]int {
+	d1, d2, d3, d4 := nibble[0], nibble[1], nibble[2], nibble[3]
+	p1 := d1 ^ d2 ^ d4
+	p2 := d1 ^ d3 ^ d4
+	p3 := d2 ^ d3 ^ d4
+	return [7]int{p1, p2, d1, p3, d2, d3, d4}
+}
+
+// hamming74Decode corrects up to one flipped bit and returns the data
+// nibble along with whether a correction was applied.
+func hamming74Decode(cw [7]int) (nibble [4]int, corrected bool) {
+	s1 := cw[0] ^ cw[2] ^ cw[4] ^ cw[6]
+	s2 := cw[1] ^ cw[2] ^ cw[5] ^ cw[6]
+	s3 := cw[3] ^ cw[4] ^ cw[5] ^ cw[6]
+	syndrome := s1 | s2<<1 | s3<<2
+	if syndrome != 0 {
+		cw[syndrome-1] ^= 1
+		corrected = true
+	}
+	return [4]int{cw[2], cw[4], cw[5], cw[6]}, corrected
+}
+
+// Encode applies Hamming(7,4) to a bit payload (padded to a multiple of
+// four) and block-interleaves the codewords to depth, so a run of up to
+// depth consecutive channel errors lands in distinct codewords and stays
+// correctable. depth must be positive.
+func Encode(bits channel.Bits, depth int) channel.Bits {
+	if depth <= 0 {
+		panic("link: interleave depth must be positive")
+	}
+	padded := append(channel.Bits{}, bits...)
+	for len(padded)%4 != 0 {
+		padded = append(padded, 0)
+	}
+	flat := make(channel.Bits, 0, len(padded)/4*7)
+	for i := 0; i < len(padded); i += 4 {
+		cw := hamming74Encode([4]int{padded[i], padded[i+1], padded[i+2], padded[i+3]})
+		flat = append(flat, cw[:]...)
+	}
+	return interleave(flat, depth)
+}
+
+// Decode reverses Encode, returning n payload bits and the number of
+// single-bit corrections the code absorbed.
+func Decode(coded channel.Bits, n, depth int) (channel.Bits, int, error) {
+	if depth <= 0 {
+		return nil, 0, fmt.Errorf("link: interleave depth must be positive")
+	}
+	if len(coded)%7 != 0 {
+		return nil, 0, fmt.Errorf("link: coded length %d is not a whole number of codewords", len(coded))
+	}
+	flat := deinterleave(coded, depth)
+	var out channel.Bits
+	corrections := 0
+	for i := 0; i+7 <= len(flat); i += 7 {
+		var cw [7]int
+		copy(cw[:], flat[i:i+7])
+		nib, corrected := hamming74Decode(cw)
+		if corrected {
+			corrections++
+		}
+		out = append(out, nib[:]...)
+	}
+	if len(out) < n {
+		return nil, corrections, fmt.Errorf("link: decoded %d bits, need %d", len(out), n)
+	}
+	return out[:n], corrections, nil
+}
+
+// interleave writes bits row-major into a depth-row matrix and reads them
+// column-major, dispersing bursts.
+func interleave(bits channel.Bits, depth int) channel.Bits {
+	if depth == 1 || len(bits) == 0 {
+		return append(channel.Bits{}, bits...)
+	}
+	cols := (len(bits) + depth - 1) / depth
+	out := make(channel.Bits, 0, len(bits))
+	for c := 0; c < cols; c++ {
+		for r := 0; r < depth; r++ {
+			idx := r*cols + c
+			if idx < len(bits) {
+				out = append(out, bits[idx])
+			}
+		}
+	}
+	return out
+}
+
+// deinterleave inverts interleave for the same depth and length.
+func deinterleave(bits channel.Bits, depth int) channel.Bits {
+	if depth == 1 || len(bits) == 0 {
+		return append(channel.Bits{}, bits...)
+	}
+	cols := (len(bits) + depth - 1) / depth
+	out := make(channel.Bits, len(bits))
+	pos := 0
+	for c := 0; c < cols; c++ {
+		for r := 0; r < depth; r++ {
+			idx := r*cols + c
+			if idx < len(bits) {
+				out[idx] = bits[pos]
+				pos++
+			}
+		}
+	}
+	return out
+}
+
+// Sync is the frame header: distinctive and resistant to constant-decode
+// failure modes (a dead channel decoding all zeros or all ones never
+// matches).
+var Sync = channel.Bits{1, 1, 0, 1, 0, 0, 1, 0}
+
+// Frame wraps data bytes for one transmission: sync header, 8-bit length,
+// ECC-protected payload, and an ECC-protected 8-bit additive checksum.
+type Frame struct {
+	Data []byte
+	// Depth is the interleave depth used on the wire.
+	Depth int
+}
+
+// Bits serialises the frame for the raw channel.
+func (f Frame) Bits() (channel.Bits, error) {
+	if len(f.Data) > 255 {
+		return nil, fmt.Errorf("link: frame of %d bytes exceeds the 255-byte limit", len(f.Data))
+	}
+	depth := f.Depth
+	if depth <= 0 {
+		depth = 4
+	}
+	var sum byte
+	for _, b := range f.Data {
+		sum += b
+	}
+	// Build the body in a fresh buffer: appending to f.Data directly
+	// would scribble the checksum into the caller's backing array.
+	body := make([]byte, 0, len(f.Data)+2)
+	body = append(body, byte(len(f.Data)))
+	body = append(body, f.Data...)
+	body = append(body, sum)
+	out := append(channel.Bits{}, Sync...)
+	return append(out, Encode(channel.FromBytes(body), depth)...), nil
+}
+
+// WireLength returns the number of raw channel bits a frame of n data
+// bytes occupies at the given interleave depth.
+func WireLength(n, depth int) int {
+	body := (n + 2) * 8 // length byte + data + checksum
+	return len(Sync) + (body+3)/4*7
+}
+
+// Deframe parses received raw bits back into the data bytes. It verifies
+// the sync header and checksum and reports the ECC correction count.
+func Deframe(raw channel.Bits, depth int) (data []byte, corrections int, err error) {
+	if depth <= 0 {
+		depth = 4
+	}
+	if len(raw) < len(Sync) {
+		return nil, 0, fmt.Errorf("link: frame shorter than the sync header")
+	}
+	mismatches := 0
+	for i, b := range Sync {
+		if raw[i] != b {
+			mismatches++
+		}
+	}
+	// The header is not ECC-protected; tolerate one flipped bit, as a
+	// correlating receiver would.
+	if mismatches > 1 {
+		return nil, 0, fmt.Errorf("link: sync header mismatch (%d bits)", mismatches)
+	}
+	body, corrections, err := Decode(raw[len(Sync):], (len(raw)-len(Sync))/7*4, depth)
+	if err != nil {
+		return nil, corrections, err
+	}
+	// Trim the nibble padding down to whole bytes.
+	body = body[:len(body)/8*8]
+	bytes, err := body.ToBytes()
+	if err != nil {
+		return nil, corrections, err
+	}
+	if len(bytes) < 2 {
+		return nil, corrections, fmt.Errorf("link: frame body too short")
+	}
+	n := int(bytes[0])
+	if len(bytes) < 2+n {
+		return nil, corrections, fmt.Errorf("link: frame claims %d bytes, carries %d", n, len(bytes)-2)
+	}
+	data = bytes[1 : 1+n]
+	var sum byte
+	for _, b := range data {
+		sum += b
+	}
+	if sum != bytes[1+n] {
+		return nil, corrections, fmt.Errorf("link: checksum mismatch")
+	}
+	return data, corrections, nil
+}

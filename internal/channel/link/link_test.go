@@ -1,0 +1,182 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+func TestHammingRoundTrip(t *testing.T) {
+	for v := 0; v < 16; v++ {
+		nib := [4]int{v & 1, v >> 1 & 1, v >> 2 & 1, v >> 3 & 1}
+		cw := hamming74Encode(nib)
+		got, corrected := hamming74Decode(cw)
+		if corrected {
+			t.Errorf("clean codeword %v reported a correction", cw)
+		}
+		if got != nib {
+			t.Errorf("round trip of %v = %v", nib, got)
+		}
+	}
+}
+
+func TestHammingCorrectsAnySingleFlip(t *testing.T) {
+	for v := 0; v < 16; v++ {
+		nib := [4]int{v & 1, v >> 1 & 1, v >> 2 & 1, v >> 3 & 1}
+		for pos := 0; pos < 7; pos++ {
+			cw := hamming74Encode(nib)
+			cw[pos] ^= 1
+			got, corrected := hamming74Decode(cw)
+			if !corrected {
+				t.Fatalf("flip at %d not detected", pos)
+			}
+			if got != nib {
+				t.Fatalf("flip at %d of nibble %v decoded to %v", pos, nib, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := sim.NewRand(1)
+	f := func(n uint8, depth uint8) bool {
+		bits := channel.RandomBits(rng, int(n%200)+1)
+		d := int(depth%8) + 1
+		coded := Encode(bits, d)
+		back, corrections, err := Decode(coded, len(bits), d)
+		if err != nil || corrections != 0 {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveDispersesBursts(t *testing.T) {
+	rng := sim.NewRand(2)
+	bits := channel.RandomBits(rng, 96)
+	const depth = 7
+	coded := Encode(bits, depth)
+	// A burst of `depth` consecutive wire errors must stay correctable:
+	// the deinterleaver spreads it one bit per codeword.
+	for start := 0; start+depth <= len(coded); start += 13 {
+		corrupted := append(channel.Bits{}, coded...)
+		for i := 0; i < depth; i++ {
+			corrupted[start+i] ^= 1
+		}
+		back, corrections, err := Decode(corrupted, len(bits), depth)
+		if err != nil {
+			t.Fatalf("burst at %d: %v", start, err)
+		}
+		if corrections == 0 {
+			t.Fatalf("burst at %d silently ignored", start)
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Fatalf("burst at %d not corrected (bit %d)", start, i)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	data := []byte("uncore encore")
+	f := Frame{Data: data, Depth: 4}
+	bits, err := f.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != WireLength(len(data), 4) {
+		t.Errorf("wire length %d, want %d", len(bits), WireLength(len(data), 4))
+	}
+	back, corrections, err := Deframe(bits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrections != 0 {
+		t.Errorf("clean frame needed %d corrections", corrections)
+	}
+	if string(back) != string(data) {
+		t.Errorf("deframed %q", back)
+	}
+}
+
+func TestFrameSurvivesScatteredErrors(t *testing.T) {
+	data := []byte("secret")
+	bits, err := Frame{Data: data, Depth: 4}.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip well-separated bits (one per codeword after deinterleaving).
+	for _, pos := range []int{len(Sync) + 3, len(Sync) + 40, len(Sync) + 77} {
+		bits[pos] ^= 1
+	}
+	back, corrections, err := Deframe(bits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrections == 0 {
+		t.Error("no corrections reported")
+	}
+	if string(back) != "secret" {
+		t.Errorf("deframed %q", back)
+	}
+}
+
+func TestFrameDetectsGarbage(t *testing.T) {
+	rng := sim.NewRand(3)
+	// A dead channel decoding constant bits must not produce a frame.
+	if _, _, err := Deframe(make(channel.Bits, 120), 4); err == nil {
+		t.Error("all-zero stream deframed")
+	}
+	ones := make(channel.Bits, 120)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, _, err := Deframe(ones, 4); err == nil {
+		t.Error("all-one stream deframed")
+	}
+	// Random noise should essentially never pass sync + checksum.
+	passed := 0
+	for trial := 0; trial < 200; trial++ {
+		if _, _, err := Deframe(channel.RandomBits(rng, 120), 4); err == nil {
+			passed++
+		}
+	}
+	if passed > 2 {
+		t.Errorf("%d/200 random streams deframed", passed)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	if _, err := (Frame{Data: make([]byte, 256)}).Bits(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if _, _, err := Deframe(channel.Bits{1, 0}, 4); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, _, err := Decode(channel.Bits{1, 0, 1}, 2, 4); err == nil {
+		t.Error("non-codeword length accepted")
+	}
+}
+
+func TestFrameDoesNotMutateCaller(t *testing.T) {
+	// Regression: framing a sub-slice of a larger buffer must not
+	// scribble into the bytes past the slice.
+	buf := []byte("abcdefXYZ")
+	if _, err := (Frame{Data: buf[:6]}).Bits(); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcdefXYZ" {
+		t.Fatalf("framing mutated the caller's buffer: %q", buf)
+	}
+}

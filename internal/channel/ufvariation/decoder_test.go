@@ -1,0 +1,98 @@
+package ufvariation
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testDecoder mirrors the 1-hop cross-core references: Tmax ≈ 62.3 at
+// 2.4 GHz, Tmin ≈ 89.2 blended over the 1.4/1.5 dither.
+func testDecoder() decoder {
+	return decoder{tMax: 62.3, tMin: 89.2, tolMax: 1.0, tolMin: 3.2, delta: 1.1}
+}
+
+func TestDecodeAlgorithm1Rules(t *testing.T) {
+	d := testDecoder()
+	cases := []struct {
+		name   string
+		t1, t2 float64
+		want   int
+	}{
+		{"rising latency falls: 1", 80, 72, 1},
+		{"falling latency rises: 0", 70, 78, 0},
+		{"saturated at max: 1", 62.3, 62.5, 1},
+		{"saturated at max with noise: 1", 63.0, 62.0, 1},
+		{"saturated at min: 0", 89.0, 89.4, 0},
+		{"dither wobble at min still 0", 90.5, 88.0, 0},
+		{"late single step out of idle: 1", 89.2, 84.0, 1},
+		{"down-step near the top: 0", 62.3, 66.1, 0},
+		{"mid-band clear fall: 1", 75, 70, 1},
+		{"mid-band clear rise: 0", 70, 75, 0},
+	}
+	for _, c := range cases {
+		if got := d.decide(c.t1, c.t2); got != c.want {
+			t.Errorf("%s: decide(%v, %v) = %d, want %d", c.name, c.t1, c.t2, got, c.want)
+		}
+	}
+}
+
+func TestDecodeAmbiguousFallsBackToNearestBand(t *testing.T) {
+	d := testDecoder()
+	// Flat mid-band, insignificant difference: decode by which
+	// reference the interval sits closer to.
+	if got := d.decide(70, 70.5); got != 1 {
+		t.Errorf("flat near the fast end decoded %d, want 1", got)
+	}
+	if got := d.decide(84, 84.5); got != 0 {
+		t.Errorf("flat near the slow end decoded %d, want 0", got)
+	}
+}
+
+func TestDecodeEmptyWindows(t *testing.T) {
+	d := testDecoder()
+	if d.decide(0, 70) != 0 || d.decide(70, 0) != 0 {
+		t.Error("empty windows must decode to a constant, not panic")
+	}
+}
+
+func TestNewDecoderReferences(t *testing.T) {
+	m := newMachine(41)
+	cfg := DefaultConfig()
+	d := newDecoder(m, cfg, 1) // probe slice 1
+	if d.tMax >= d.tMin {
+		t.Fatalf("tMax %v not below tMin %v", d.tMax, d.tMin)
+	}
+	if d.tolMax <= 0 || d.tolMin <= 0 || d.delta <= 0 {
+		t.Error("non-positive tolerances")
+	}
+	// Cross-processor receivers observe one step less at the top; with
+	// the same placement, overriding the top frequency to one step
+	// below must raise the reference identically.
+	follower := cfg
+	follower.MaxFreqOverride = 23
+	dcp := newDecoder(m, follower, 1)
+	if dcp.tMax <= d.tMax {
+		t.Errorf("one-step-lower tMax %v not above full-range %v (the follower's view)", dcp.tMax, d.tMax)
+	}
+	// Restricted-range override lifts the latency floor.
+	cfg.MaxFreqOverride = 17
+	dr := newDecoder(m, cfg, 1)
+	if dr.tMax <= d.tMax {
+		t.Error("restricted-range reference not slower than default")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Interval != 38*sim.Millisecond || cfg.Window != 5*sim.Millisecond {
+		t.Errorf("defaults %v/%v", cfg.Interval, cfg.Window)
+	}
+	cp := cfg.CrossProcessor()
+	if cp.Receiver.Socket != 1 {
+		t.Error("CrossProcessor did not move the receiver")
+	}
+	if cfg.Receiver.Socket != 0 {
+		t.Error("CrossProcessor mutated the original config")
+	}
+}

@@ -1,0 +1,176 @@
+package ufvariation
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// spawnBystanders launches n active-but-unstalled threads, the §4.3.3
+// noise that dilutes the stalled-core fraction.
+func spawnBystanders(m *system.Machine, n int) {
+	for i := 0; i < n; i++ {
+		core := m.FreeCore(0, 0, 8)
+		m.Spawn("bystander", 0, core, 0, workload.Nop{})
+	}
+}
+
+// TestStallDilutionBreaksSingleCoreSender reproduces the §4.3.3 failure
+// mode: with two extra busy threads, a single stalling sender keeps only
+// 1/4 of the active cores stalled and the frequency no longer rises.
+func TestStallDilutionBreaksSingleCoreSender(t *testing.T) {
+	m := newMachine(21)
+	spawnBystanders(m, 2)
+	cfg := DefaultConfig()
+	bits := channel.RandomBits(m.Rand(1), 48)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER < 0.3 {
+		t.Errorf("single-core sender BER %.2f despite dilution; §4.3.3 expects failure", res.BER)
+	}
+}
+
+// TestMultiCoreSenderResistsDilution reproduces the §4.3.3 fix: "if the
+// sender stalls 6 cores, then it is guaranteed that over 1/3 active cores
+// are stalled".
+func TestMultiCoreSenderResistsDilution(t *testing.T) {
+	m := newMachine(22)
+	spawnBystanders(m, 2)
+	cfg := DefaultConfig()
+	cfg.SenderCores = []int{1, 2, 3, 4, 5}
+	bits := channel.RandomBits(m.Rand(2), 48)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.05 {
+		t.Errorf("six-core sender BER %.2f under dilution, want ≈0 (§4.3.3)", res.BER)
+	}
+}
+
+// TestTrafficLoopSenderResistsDilution is §4.3.3's other fix: the heavy
+// traffic loop drives the frequency through utilisation, which no number
+// of unstalled bystanders dilutes.
+func TestTrafficLoopSenderResistsDilution(t *testing.T) {
+	m := newMachine(23)
+	spawnBystanders(m, 4)
+	cfg := DefaultConfig()
+	cfg.UseTrafficLoop = true
+	bits := channel.RandomBits(m.Rand(3), 48)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.05 {
+		t.Errorf("traffic-loop sender BER %.2f under dilution, want ≈0 (§4.3.3)", res.BER)
+	}
+}
+
+// TestTurboCoreDisablesChannel: when any core runs above its base
+// frequency, UFS pins the uncore at the maximum (§2.2.1) and the channel
+// has nothing to modulate.
+func TestTurboCoreDisablesChannel(t *testing.T) {
+	cfg := system.DefaultConfig()
+	cfg.Seed = 24
+	m := system.New(cfg)
+	// One core enters turbo.
+	m.Socket(0).Cores[15].Freq = sim.CoreBase + 4
+	m.Spawn("turbo", 0, 15, 0, workload.Nop{})
+	bits := channel.RandomBits(m.Rand(4), 48)
+	res, err := Run(m, DefaultConfig(), bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER < 0.3 {
+		t.Errorf("channel functional with a turbo core (BER %.2f); UFS should be disabled", res.BER)
+	}
+	if f := m.Socket(0).Uncore(); f != 24 {
+		t.Errorf("uncore at %v with a turbo core, want pinned max", f)
+	}
+}
+
+// TestOnlineCalibration verifies the attacker can derive its latency
+// references from the saturate/decay preamble alone — no latency-model
+// oracle — and still decode cleanly, including cross-processor and under
+// a restricted UFS range where the references differ.
+func TestOnlineCalibration(t *testing.T) {
+	m := newMachine(25)
+	cfg := DefaultConfig()
+	cfg.Interval = 21 * sim.Millisecond
+	cfg.OnlineCalibration = true
+	bits := channel.RandomBits(m.Rand(5), 64)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.05 {
+		t.Errorf("online-calibrated BER %.3f at 21ms, want ≈0", res.BER)
+	}
+}
+
+func TestOnlineCalibrationCrossProcessor(t *testing.T) {
+	m := newMachine(26)
+	cfg := DefaultConfig().CrossProcessor()
+	cfg.OnlineCalibration = true
+	bits := channel.RandomBits(m.Rand(6), 48)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.08 {
+		t.Errorf("cross-processor online-calibrated BER %.3f, want ≤0.08", res.BER)
+	}
+}
+
+func TestCalibrationBitsShape(t *testing.T) {
+	bits := CalibrationBits(21 * sim.Millisecond)
+	if len(bits)%2 != 0 {
+		t.Fatal("calibration preamble not symmetric")
+	}
+	half := len(bits) / 2
+	for i, b := range bits {
+		want := 0
+		if i < half {
+			want = 1
+		}
+		if b != want {
+			t.Fatalf("calibration bit %d = %d", i, b)
+		}
+	}
+	// The hold must cover the nine-step swing.
+	if sim.Time(half)*21*sim.Millisecond < 100*sim.Millisecond {
+		t.Error("calibration hold shorter than the frequency swing")
+	}
+}
+
+// TestClockSkewDegradesLongPayloads probes the §4.3.2 synchronisation
+// assumption: with a shared TSC (zero skew) long payloads stay clean,
+// while a receiver clock running 2000 ppm fast drifts its windows off the
+// sender's intervals and the tail of the payload collapses.
+func TestClockSkewDegradesLongPayloads(t *testing.T) {
+	run := func(ppm float64) float64 {
+		m := newMachine(31)
+		cfg := DefaultConfig()
+		cfg.Interval = 21 * sim.Millisecond
+		cfg.SkewPPM = ppm
+		bits := channel.RandomBits(m.Rand(11), 192)
+		res, err := Run(m, cfg, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BER
+	}
+	clean := run(0)
+	skewed := run(2000)
+	if clean > 0.05 {
+		t.Errorf("zero-skew BER %.3f on a long payload, want ≈0", clean)
+	}
+	if skewed < clean+0.1 {
+		t.Errorf("2000 ppm skew BER %.3f barely above clean %.3f; windows should drift off", skewed, clean)
+	}
+}

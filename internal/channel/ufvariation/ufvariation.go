@@ -1,0 +1,493 @@
+// Package ufvariation implements UF-variation, the paper's covert channel
+// (§4.3, Algorithm 1). Data is encoded in the *variation* of the uncore
+// frequency within each transmission interval:
+//
+//   - To send "1" the sender runs a severely stalling loop (or a heavy
+//     traffic loop); the UFS governor raises the uncore frequency by
+//     100 MHz every 10 ms until the maximum.
+//   - To send "0" the sender idles; the frequency steps back down toward
+//     the idle point.
+//
+// The unprivileged receiver cannot read the frequency MSR, so it times LLC
+// loads (§4.2, Listing 3): it compares the average latency in the first
+// and last 5 ms of the interval (T1, T2) and decodes
+//
+//	1  if T2 < T1, or T1 ≈ T2 ≈ latency(freq_max)
+//	0  if T2 > T1, or T1 ≈ T2 ≈ latency(freq_min)
+//
+// The channel works cross-core and — through the cross-socket frequency
+// coupling of §3.4 — cross-processor, with no shared memory, no clflush,
+// no TSX, and no cross-NUMA accesses (§4.1).
+package ufvariation
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/channel"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Placement pins a party to a socket and core.
+type Placement struct {
+	Socket, Core int
+}
+
+// Config describes one UF-variation deployment.
+type Config struct {
+	// Sender and Receiver placements. Different sockets give the
+	// cross-processor channel.
+	Sender, Receiver Placement
+	// SenderDomain and ReceiverDomain are the parties' security
+	// domains; defences key partitioning and randomization on them.
+	SenderDomain, ReceiverDomain cache.Domain
+	// Interval is the per-bit transmission interval (≥ the 10 ms
+	// governor epoch; the paper's capacity peaks at 21 ms cross-core).
+	Interval sim.Time
+	// Window is the measurement window at each end of the interval
+	// (§4.3.2: "the first and last 5 ms").
+	Window sim.Time
+	// UseTrafficLoop switches the sender from the stalling loop to a
+	// heavy 3-hop traffic loop (Algorithm 1's alternative; §4.3.3 uses
+	// it to resist stall-dilution noise).
+	UseTrafficLoop bool
+	// SenderCores optionally adds extra stalling cores (§4.3.3: a
+	// sender with multiple cores keeps >1/3 of active cores stalled).
+	SenderCores []int
+	// ReceiverHops is the mesh distance of the receiver's probe slice
+	// (Figure 9 uses 1-hop latencies).
+	ReceiverHops int
+	// SamplesPerQuantum bounds the receiver's measurement density.
+	SamplesPerQuantum int
+	// Lead is the settle/warm-up time before the first interval.
+	Lead sim.Time
+	// RecordTraces captures the receiver's latency samples (Figure 9).
+	RecordTraces bool
+	// MaxFreqOverride, when non-zero, tells the receiver which top
+	// frequency its socket can reach (defence configurations that
+	// restrict the UFS range change the latency floor).
+	MaxFreqOverride sim.Freq
+	// SkewPPM models imperfect synchronisation: the receiver's view of
+	// elapsed time runs fast (positive) or slow (negative) by this many
+	// parts per million relative to the sender's. The paper's threat
+	// model assumes a shared timestamp counter (§4.3.2); skew shifts
+	// the receiver's measurement windows progressively off the sender's
+	// intervals, so long payloads degrade toward the tail.
+	SkewPPM float64
+	// OnlineCalibration derives the receiver's latency references from
+	// a known calibration preamble instead of an offline latency model:
+	// the sender holds a long "1" (saturating the frequency) and then a
+	// long "0" (decaying to idle), and the receiver records the
+	// plateau latencies it observes. This is how a real attacker
+	// obtains Tfreq_max and Tfreq_min without knowing the platform.
+	OnlineCalibration bool
+}
+
+// CalibrationBits is the known preamble used by OnlineCalibration: enough
+// consecutive "1"s to saturate at the maximum frequency from anywhere in
+// the range, then enough "0"s to decay back to idle.
+func CalibrationBits(interval sim.Time) channel.Bits {
+	// The frequency moves one step per 10 ms epoch; the full range is
+	// nine steps. Hold each symbol long enough to cover the swing plus
+	// two intervals of plateau.
+	hold := int(100*sim.Millisecond/interval) + 3
+	bits := make(channel.Bits, 0, 2*hold)
+	for i := 0; i < hold; i++ {
+		bits = append(bits, 1)
+	}
+	for i := 0; i < hold; i++ {
+		bits = append(bits, 0)
+	}
+	return bits
+}
+
+// DefaultConfig returns the paper's proof-of-concept setup: sender on
+// socket 0 core 0, receiver on socket 0 core 8, 38 ms intervals (the
+// Figure 9 example), 5 ms windows, 1-hop probe.
+func DefaultConfig() Config {
+	return Config{
+		Sender:            Placement{Socket: 0, Core: 0},
+		Receiver:          Placement{Socket: 0, Core: 8},
+		Interval:          38 * sim.Millisecond,
+		Window:            5 * sim.Millisecond,
+		ReceiverHops:      1,
+		SamplesPerQuantum: 20,
+		Lead:              40 * sim.Millisecond,
+	}
+}
+
+// CrossProcessor moves the receiver to socket 1 (§4.3.2's second
+// scenario) with the paper's peak-capacity interval.
+func (c Config) CrossProcessor() Config {
+	c.Receiver = Placement{Socket: 1, Core: 8}
+	c.Interval = 33 * sim.Millisecond
+	return c
+}
+
+// Result extends the framework result with the receiver's traces.
+type Result struct {
+	channel.Result
+	// Latency is the receiver's per-sample latency trace (set when
+	// RecordTraces).
+	Latency *trace.Series
+	// T1, T2 are the per-interval window means, for diagnostics.
+	T1, T2 []float64
+}
+
+// senderWorkload drives Algorithm 1's sender: during interval i it runs
+// the stalling (or traffic) loop iff message[i] is 1.
+type senderWorkload struct {
+	start    sim.Time
+	interval sim.Time
+	bits     channel.Bits
+	inner    system.Workload
+}
+
+func (w *senderWorkload) Step(ctx *system.Ctx) system.Activity {
+	rel := ctx.Start() - w.start
+	if rel < 0 {
+		return system.Activity{}
+	}
+	idx := int(rel / w.interval)
+	if idx >= len(w.bits) || w.bits[idx] == 0 {
+		return system.Activity{}
+	}
+	return w.inner.Step(ctx)
+}
+
+// receiverWorkload measures T1/T2 window latencies per interval.
+type receiverWorkload struct {
+	lines    []cache.Line
+	start    sim.Time
+	interval sim.Time
+	window   sim.Time
+	n        int
+	per      int
+	skew     float64
+
+	t1Sum, t2Sum []float64
+	t1N, t2N     []int
+	lat          *trace.Series
+}
+
+func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
+	at := ctx.Start()
+	rel := at - w.start
+	if rel > 0 && w.skew != 0 {
+		// The receiver schedules its windows by its own clock.
+		rel = sim.Time(float64(rel) * (1 + w.skew*1e-6))
+	}
+	measure := false
+	var sum *float64
+	var cnt *int
+	switch {
+	case rel < 0:
+		// Warm-up: keep the eviction list resident and the pipeline
+		// hot, like the real receiver spinning before the first
+		// interval.
+		measure = true
+	default:
+		idx := int(rel / w.interval)
+		if idx >= w.n {
+			return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Quantum())}
+		}
+		off := rel % w.interval
+		if off < w.window {
+			measure, sum, cnt = true, &w.t1Sum[idx], &w.t1N[idx]
+		} else if off >= w.interval-w.window {
+			measure, sum, cnt = true, &w.t2Sum[idx], &w.t2N[idx]
+		}
+	}
+	if measure {
+		for i := 0; i < w.per && ctx.Remaining() > 0; i++ {
+			lat := ctx.TimedAccess(w.lines[i%len(w.lines)])
+			if sum != nil {
+				*sum += lat
+				*cnt++
+			}
+			if w.lat != nil {
+				w.lat.Add(ctx.Now(), lat)
+			}
+		}
+	}
+	rest := ctx.CoreFreq().CyclesIn(ctx.Remaining())
+	return system.Activity{Active: true, Cycles: rest}
+}
+
+// Run executes one UF-variation transmission of bits over machine m.
+// The machine must be freshly positioned (any prior virtual time is fine);
+// threads are spawned, the transmission runs to completion, and the
+// spawned threads are stopped again.
+func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
+	if cfg.Interval <= 0 || cfg.Window <= 0 || cfg.Window*2 > cfg.Interval {
+		return Result{}, fmt.Errorf("ufvariation: invalid interval %v / window %v", cfg.Interval, cfg.Window)
+	}
+	if len(bits) == 0 {
+		return Result{}, fmt.Errorf("ufvariation: empty payload")
+	}
+	sSock := m.Socket(cfg.Sender.Socket)
+	rSock := m.Socket(cfg.Receiver.Socket)
+
+	// Sender's modulation loop. The stalling loop chases the sender's
+	// local slice; the traffic alternative hammers a far slice so its
+	// distance-weighted pressure alone pins the target at the maximum.
+	var inner system.Workload
+	if cfg.UseTrafficLoop {
+		slice, ok := farSlice(m, cfg.Sender)
+		if !ok {
+			return Result{}, fmt.Errorf("ufvariation: no far slice for sender core %d", cfg.Sender.Core)
+		}
+		inner = &workload.Traffic{Slice: slice}
+	} else {
+		slice, ok := sSock.Die.SliceAtHops(cfg.Sender.Core, 0)
+		if !ok {
+			return Result{}, fmt.Errorf("ufvariation: sender core %d has no local slice", cfg.Sender.Core)
+		}
+		inner = &workload.Stalling{Slice: slice}
+	}
+
+	// Receiver probe list: an eviction list homed on a slice at the
+	// configured hop distance from the receiver core — one the
+	// receiver's own domain can allocate on, when slice partitioning
+	// confines it to a subset.
+	probeSlice := -1
+	from := rSock.Die.CoreCoord(cfg.Receiver.Core)
+	for delta := 0; delta < rSock.Die.Rows+rSock.Die.Cols && probeSlice < 0; delta++ {
+		for _, h := range []int{cfg.ReceiverHops + delta, cfg.ReceiverHops - delta} {
+			if h < 0 {
+				continue
+			}
+			for s := 0; s < rSock.Die.NumSlices(); s++ {
+				if from.Hops(rSock.Die.SliceCoord(s)) == h && domainCanMap(rSock.Hier, cfg.ReceiverDomain, s) {
+					probeSlice = s
+					break
+				}
+			}
+			if probeSlice >= 0 {
+				break
+			}
+		}
+	}
+	if probeSlice < 0 {
+		return Result{}, fmt.Errorf("ufvariation: receiver core %d has no reachable probe slice", cfg.Receiver.Core)
+	}
+	lines, err := memsys.EvictionList(rSock.Hier, cfg.ReceiverDomain, memsys.NewAllocator(), 200, probeSlice, 20)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// With online calibration the transmission is prefixed by the known
+	// saturate/decay preamble from which the receiver will read its
+	// latency references.
+	send := bits
+	if cfg.OnlineCalibration {
+		cal := CalibrationBits(cfg.Interval)
+		send = append(append(channel.Bits{}, cal...), bits...)
+	}
+
+	start := m.Now() + cfg.Lead
+	sw := &senderWorkload{start: start, interval: cfg.Interval, bits: send, inner: inner}
+	rw := &receiverWorkload{
+		lines:    lines,
+		start:    start,
+		interval: cfg.Interval,
+		window:   cfg.Window,
+		n:        len(send),
+		per:      cfg.SamplesPerQuantum,
+		skew:     cfg.SkewPPM,
+		t1Sum:    make([]float64, len(send)),
+		t2Sum:    make([]float64, len(send)),
+		t1N:      make([]int, len(send)),
+		t2N:      make([]int, len(send)),
+	}
+	if rw.per <= 0 {
+		rw.per = 20
+	}
+	if cfg.RecordTraces {
+		rw.lat = &trace.Series{Name: "llc_latency_cycles"}
+	}
+
+	names := fmt.Sprintf("@%d", m.Now())
+	threads := []*system.Thread{
+		m.Spawn("ufv-sender"+names, cfg.Sender.Socket, cfg.Sender.Core, cfg.SenderDomain, sw),
+		m.Spawn("ufv-receiver"+names, cfg.Receiver.Socket, cfg.Receiver.Core, cfg.ReceiverDomain, rw),
+	}
+	for i, core := range cfg.SenderCores {
+		slice, ok := sSock.Die.SliceAtHops(core, 0)
+		if !ok {
+			slice = 0
+		}
+		extra := &senderWorkload{start: start, interval: cfg.Interval, bits: send, inner: &workload.Stalling{Slice: slice}}
+		threads = append(threads, m.Spawn(fmt.Sprintf("ufv-sender%d%s", i+2, names), cfg.Sender.Socket, core, cfg.SenderDomain, extra))
+	}
+	m.Run(cfg.Lead + cfg.Interval*sim.Time(len(send)) + m.Config().Quantum)
+	for _, t := range threads {
+		t.Stop()
+	}
+
+	skip := len(send) - len(bits)
+	var dec decoder
+	if cfg.OnlineCalibration {
+		dec = calibrateDecoder(rw, skip)
+	} else {
+		dec = newDecoder(m, cfg, probeSlice)
+	}
+	received := make(channel.Bits, len(bits))
+	res := Result{T1: make([]float64, len(bits)), T2: make([]float64, len(bits))}
+	for i := range bits {
+		t1 := mean(rw.t1Sum[skip+i], rw.t1N[skip+i])
+		t2 := mean(rw.t2Sum[skip+i], rw.t2N[skip+i])
+		res.T1[i], res.T2[i] = t1, t2
+		received[i] = dec.decide(t1, t2)
+	}
+	res.Result = channel.Evaluate(bits, received, cfg.Interval)
+	res.Latency = rw.lat
+	return res, nil
+}
+
+// calibrateDecoder reads the latency references off the calibration
+// preamble's plateaus: the end of the "1" run sits at the top operating
+// point, the end of the "0" run at the idle dither. The per-step latency
+// gap follows from the nine-step range, sizing the tolerances and the
+// significance threshold without any platform knowledge.
+func calibrateDecoder(rw *receiverWorkload, calLen int) decoder {
+	hold := calLen / 2
+	tMax := mean(rw.t2Sum[hold-1], rw.t2N[hold-1])
+	tMin := mean(rw.t2Sum[calLen-1], rw.t2N[calLen-1])
+	gap := (tMin - tMax) / 9
+	if gap < 0.5 {
+		gap = 0.5
+	}
+	return decoder{
+		tMax:   tMax,
+		tMin:   tMin,
+		tolMax: 0.45 * gap,
+		tolMin: 0.85 * gap,
+		delta:  0.4 * gap,
+	}
+}
+
+func mean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// domainCanMap reports whether domain d can allocate lines homed on slice.
+func domainCanMap(h *cache.Hierarchy, d cache.Domain, slice int) bool {
+	for l := cache.Line(1 << 22); l < 1<<22+4096; l++ {
+		if h.SliceOf(d, l) == slice {
+			return true
+		}
+	}
+	return false
+}
+
+// farSlice picks the farthest slice from the sender core.
+func farSlice(m *system.Machine, p Placement) (int, bool) {
+	die := m.Socket(p.Socket).Die
+	best, bestH := -1, -1
+	from := die.CoreCoord(p.Core)
+	for s := 0; s < die.NumSlices(); s++ {
+		if h := from.Hops(die.SliceCoord(s)); h > bestH {
+			best, bestH = s, h
+		}
+	}
+	return best, best >= 0
+}
+
+// decoder holds the latency references of Algorithm 1 (Tfreq_max,
+// Tfreq_min) derived from the latency model — the values a real receiver
+// obtains in an offline calibration phase — plus the significance
+// threshold delta below which a window-mean difference is just noise.
+type decoder struct {
+	tMax, tMin     float64
+	tolMax, tolMin float64
+	delta          float64
+}
+
+func newDecoder(m *system.Machine, cfg Config, probeSlice int) decoder {
+	tp := m.Config().Timing
+	fc := m.Config().CoreFreq
+	rSock := m.Socket(cfg.Receiver.Socket)
+	hops := rSock.Mesh.Hops(rSock.Die.CoreCoord(cfg.Receiver.Core), rSock.Die.SliceCoord(probeSlice))
+
+	hi := rSock.MSR.Ratio().Max
+	if cfg.Receiver.Socket != cfg.Sender.Socket {
+		// A coupled follower stabilises one step below the leader
+		// (§3.4), so the receiver's observable top frequency is lower.
+		hi -= sim.FreqStep
+	}
+	if cfg.MaxFreqOverride != 0 {
+		hi = cfg.MaxFreqOverride
+	}
+	lo := m.Config().UFS.IdleHigh
+	rl := rSock.MSR.Ratio()
+	if rl.Min > lo {
+		lo = rl.Min
+	}
+	// The idle operating point dithers between lo and lo−1 (§3.1), so
+	// the receiver's freq_min latency reference is the blend of both
+	// levels.
+	loDither := (lo - sim.FreqStep).Clamp(rl.Min, rl.Max)
+	tMax := tp.LLCMeanCycles(fc, hi, hops, 0)
+	tMaxNext := tp.LLCMeanCycles(fc, hi-sim.FreqStep, hops, 0)
+	tMin := (tp.LLCMeanCycles(fc, lo, hops, 0) + tp.LLCMeanCycles(fc, loDither, hops, 0)) / 2
+	tMinNext := tp.LLCMeanCycles(fc, lo+sim.FreqStep, hops, 0)
+	// Window means carry residual correlated noise; differences below
+	// delta are not significant.
+	delta := 2.2 * tp.DriftStd
+	if delta < 0.5 {
+		delta = 0.5
+	}
+	return decoder{
+		tMax:   tMax,
+		tMin:   tMin,
+		tolMax: maxf((tMaxNext-tMax)/2, 1.6*tp.DriftStd),
+		tolMin: maxf((tMin-tMinNext)/2, 1.6*tp.DriftStd),
+		delta:  delta,
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// decide implements the receiver branch of Algorithm 1: a significant
+// latency move decides the bit by its sign; flat intervals decode by which
+// saturation level they sit at; anything else is genuinely ambiguous and
+// falls back to the (insignificant) sign.
+func (d decoder) decide(t1, t2 float64) int {
+	if t1 == 0 || t2 == 0 {
+		return 0 // no samples: undecodable interval
+	}
+	nearMin := func(t float64) bool { return t >= d.tMin-d.tolMin }
+	nearMax := func(t float64) bool { return t <= d.tMax+d.tolMax }
+	switch {
+	case nearMin(t1) && nearMin(t2):
+		return 0
+	case nearMax(t1) && nearMax(t2):
+		return 1
+	case t2 < t1-d.delta:
+		return 1
+	case t2 > t1+d.delta:
+		return 0
+	default:
+		// Flat but not cleanly inside either saturation band: decode
+		// by which reference the interval sits closer to — a flat
+		// interval near the fast end is far more likely the tail of a
+		// "1" run than of a "0" run.
+		if (t1+t2)/2 < (d.tMax+d.tMin)/2 {
+			return 1
+		}
+		return 0
+	}
+}

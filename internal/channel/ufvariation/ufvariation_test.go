@@ -1,0 +1,112 @@
+package ufvariation
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func newMachine(seed uint64) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+func TestCrossCoreTransmissionErrorFree(t *testing.T) {
+	m := newMachine(1)
+	cfg := DefaultConfig()
+	bits := channel.Bits{1, 1, 0, 1, 0, 0, 1, 0, 1, 1}
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER != 0 {
+		t.Errorf("BER = %v at 38ms interval, want 0\nsent %v\ngot  %v\nT1 %v\nT2 %v",
+			res.BER, res.Sent, res.Received, res.T1, res.T2)
+	}
+}
+
+func TestCrossCoreLongPayload(t *testing.T) {
+	m := newMachine(2)
+	cfg := DefaultConfig()
+	cfg.Interval = 21 * sim.Millisecond // the paper's peak-capacity interval
+	bits := channel.RandomBits(m.Rand(99), 64)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.05 {
+		t.Errorf("BER = %v at 21ms, want ≤0.05\nsent %v\ngot  %v", res.BER, res.Sent, res.Received)
+	}
+}
+
+func TestCrossProcessorTransmission(t *testing.T) {
+	m := newMachine(3)
+	cfg := DefaultConfig().CrossProcessor()
+	bits := channel.RandomBits(m.Rand(7), 48)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.08 {
+		t.Errorf("cross-processor BER = %v at 33ms, want ≤0.08\nsent %v\ngot  %v", res.BER, res.Sent, res.Received)
+	}
+}
+
+func TestTrafficLoopSender(t *testing.T) {
+	m := newMachine(4)
+	cfg := DefaultConfig()
+	cfg.UseTrafficLoop = true
+	bits := channel.RandomBits(m.Rand(8), 32)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.05 {
+		t.Errorf("traffic-loop sender BER = %v, want ≤0.05", res.BER)
+	}
+}
+
+func TestVeryShortIntervalDegrades(t *testing.T) {
+	m := newMachine(5)
+	cfg := DefaultConfig()
+	cfg.Interval = 11 * sim.Millisecond
+	bits := channel.RandomBits(m.Rand(9), 64)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER == 0 {
+		t.Errorf("BER = 0 at 11ms interval; expected degradation below the knee")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := newMachine(6)
+	cfg := DefaultConfig()
+	cfg.Window = cfg.Interval // windows overlap
+	if _, err := Run(m, cfg, channel.Bits{1}); err == nil {
+		t.Error("overlapping windows accepted")
+	}
+	cfg = DefaultConfig()
+	if _, err := Run(m, cfg, nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	data := []byte("uncore")
+	b := channel.FromBytes(data)
+	back, err := b.ToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != "uncore" {
+		t.Errorf("round trip = %q", back)
+	}
+	if _, err := (channel.Bits{1, 0, 1}).ToBytes(); err == nil {
+		t.Error("non-byte-aligned bits accepted")
+	}
+}

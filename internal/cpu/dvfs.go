@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DVFSPolicy selects how core P-states are chosen (§2.2.1). With
+// SpeedShift the hardware picks the P-state; the OS supplies the policy
+// and the allowed range.
+type DVFSPolicy int
+
+const (
+	// PolicyNone leaves core frequencies wherever they were set — the
+	// default for experiments that pin the core clock.
+	PolicyNone DVFSPolicy = iota
+	// PolicyPowersave scales busy cores up to (at most) the base
+	// frequency and parks idle cores at the minimum — the paper's
+	// platform configuration (Table 1: intel_cpufreq + powersave),
+	// under which UFS stays enabled.
+	PolicyPowersave
+	// PolicyPerformance runs active cores in the turbo range above the
+	// base frequency, which disables UFS entirely (§2.2.1: the uncore
+	// pins at its maximum while any core exceeds base).
+	PolicyPerformance
+)
+
+func (p DVFSPolicy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyPowersave:
+		return "powersave"
+	case PolicyPerformance:
+		return "performance"
+	default:
+		return fmt.Sprintf("DVFSPolicy(%d)", int(p))
+	}
+}
+
+// DVFS is the per-socket core-frequency governor.
+type DVFS struct {
+	// Policy selects the P-state strategy.
+	Policy DVFSPolicy
+	// Min and Turbo bound the P-state range; Base separates the
+	// UFS-enabled region from turbo.
+	Min, Base, Turbo sim.Freq
+}
+
+// DefaultDVFS returns the evaluation platform's configuration: powersave
+// between 1.0 GHz and the 2.6 GHz base, 3.7 GHz turbo ceiling (unused
+// under powersave).
+func DefaultDVFS(policy DVFSPolicy) DVFS {
+	return DVFS{Policy: policy, Min: 10, Base: sim.CoreBase, Turbo: 37}
+}
+
+// Next returns the P-state for a core whose last-epoch utilization
+// (busy cycles over wall cycles) is util.
+func (d DVFS) Next(util float64) sim.Freq {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	switch d.Policy {
+	case PolicyPowersave:
+		// Scale within [Min, Base]; a mostly-busy core reaches base,
+		// an idle one parks at the floor. P-states move in 100 MHz
+		// increments (§2.2.1).
+		span := float64(d.Base - d.Min)
+		f := d.Min + sim.Freq(util*span+0.5)
+		return f.Clamp(d.Min, d.Base)
+	case PolicyPerformance:
+		if util > 0.05 {
+			return d.Turbo
+		}
+		return d.Base
+	default:
+		return 0 // caller keeps the current frequency
+	}
+}

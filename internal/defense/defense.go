@@ -1,0 +1,189 @@
+// Package defense configures the environments of Table 3 and §6.1: the
+// prerequisite switches (shared memory, clflush, TSX), the deployed
+// mitigations (randomized LLC indexing, fine-grained uncore partitioning,
+// coarse per-socket partitioning, background cache stress), and the
+// UFS-specific countermeasures (fixed, randomized, or range-restricted
+// uncore frequency, and a high-utilisation background thread).
+package defense
+
+import (
+	"repro/internal/cache"
+	"repro/internal/msr"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Env is one Table 3 column environment: which prerequisites the platform
+// offers and which mitigations are active.
+type Env struct {
+	// SharedMemory allows sender and receiver to share read-only pages
+	// (page deduplication). Data-reuse channels need it.
+	SharedMemory bool
+	// CLFlush exposes the clflush instruction to user code.
+	CLFlush bool
+	// TSX exposes hardware transactions.
+	TSX bool
+	// RandomizedLLC installs per-domain keyed set indexing.
+	RandomizedLLC bool
+	// FinePartition splits the uncore within a socket: disjoint LLC
+	// slice halves and way halves per domain, plus time-multiplexed
+	// interconnect scheduling (§4.4). Cross-domain page sharing is
+	// impossible in partitioned systems, so it implies !SharedMemory.
+	FinePartition bool
+	// CoarsePartition places the parties on different sockets with the
+	// NUMA-strict policy: no cross-socket allocations or accesses
+	// (§4.4). It also implies !SharedMemory.
+	CoarsePartition bool
+	// StressThreads runs stress-ng --cache N in the background.
+	StressThreads int
+}
+
+// Baseline returns the permissive environment: everything available,
+// nothing deployed.
+func Baseline() Env {
+	return Env{SharedMemory: true, CLFlush: true, TSX: true}
+}
+
+// Placement locates the channel parties under this environment.
+type Placement struct {
+	SenderSocket, SenderCore     int
+	ReceiverSocket, ReceiverCore int
+	SenderDomain, ReceiverDomain cache.Domain
+}
+
+// Placement returns where the sender and receiver run: same socket,
+// distinct cores by default; different sockets under coarse partitioning;
+// distinct security domains under domain-keyed defences.
+func (e Env) Placement() Placement {
+	p := Placement{SenderCore: 0, ReceiverCore: 4}
+	if e.CoarsePartition {
+		p.ReceiverSocket = 1
+	}
+	if e.RandomizedLLC || e.FinePartition {
+		p.SenderDomain, p.ReceiverDomain = 1, 2
+	}
+	return p
+}
+
+// EffectiveSharedMemory reports whether the parties can actually share
+// pages under this environment.
+func (e Env) EffectiveSharedMemory() bool {
+	return e.SharedMemory && !e.FinePartition && !e.CoarsePartition
+}
+
+// Apply installs the environment on a machine: defence policies on every
+// socket's hierarchy and mesh, and background stressors. Call before
+// spawning channel threads.
+func (e Env) Apply(m *system.Machine) {
+	p := e.Placement()
+	for _, s := range m.Sockets() {
+		if e.RandomizedLLC {
+			s.Hier.SetIndexFn(cache.KeyedIndex(map[cache.Domain]uint64{
+				p.SenderDomain:   0xA11CE ^ uint64(s.ID),
+				p.ReceiverDomain: 0xB0B00 ^ uint64(s.ID),
+			}))
+		}
+		if e.FinePartition {
+			applyFinePartition(s, p.SenderDomain, p.ReceiverDomain)
+		}
+	}
+	if e.StressThreads > 0 {
+		spawnStress(m, 0, e.StressThreads)
+	}
+}
+
+// applyFinePartition assigns each domain half of the LLC slices and half
+// of the ways, and switches the interconnect to time-multiplexed
+// scheduling, so no uncore buffering structure or path is shared between
+// the two domains (§4.4).
+func applyFinePartition(s *system.Socket, a, b cache.Domain) {
+	n := s.Die.NumSlices()
+	var lo, hi []int
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			lo = append(lo, i)
+		} else {
+			hi = append(hi, i)
+		}
+	}
+	base := cache.NewXORFoldHash(n)
+	s.Hier.SetDomainHash(a, cache.NewSubsetHash(base, lo))
+	s.Hier.SetDomainHash(b, cache.NewSubsetHash(base, hi))
+	ways := s.Hier.Geometry().LLCWays
+	s.Hier.SetDomainWays(a, cache.WayRange{Lo: 0, N: ways / 2})
+	s.Hier.SetDomainWays(b, cache.WayRange{Lo: ways / 2, N: ways - ways/2})
+	s.Mesh.SetTDM(true)
+}
+
+// spawnStress launches n stress-ng --cache workers on the top cores of
+// the socket.
+func spawnStress(m *system.Machine, socket, n int) {
+	die := m.Socket(socket).Die
+	for i := 0; i < n; i++ {
+		core := die.NumCores() - 1 - i
+		slice, ok := die.SliceAtHops(core, 2)
+		if !ok {
+			slice, _ = die.SliceAtHops(core, 1)
+		}
+		m.Spawn("stress", socket, core, 0, workload.NewCacheStressor(i, slice))
+	}
+}
+
+// Countermeasure is a §6.1 mitigation against UFS channels specifically.
+type Countermeasure int
+
+const (
+	// NoCountermeasure leaves UFS untouched.
+	NoCountermeasure Countermeasure = iota
+	// FixedFrequency writes min==max into UNCORE_RATIO_LIMIT, disabling
+	// UFS entirely.
+	FixedFrequency
+	// RandomizedFrequency re-pins the uncore to a random operating
+	// point every period, hiding workload-driven variation.
+	RandomizedFrequency
+	// RestrictedRange narrows UFS to a 0.2 GHz band (1.5–1.7 GHz). §6.1
+	// shows this blunts the side channel but not the covert channel.
+	RestrictedRange
+	// BusyUncore keeps a background thread stressing the uncore so it
+	// stays at freq_max regardless of other workloads.
+	BusyUncore
+)
+
+// Deploy installs the countermeasure on socket s of m. For
+// RandomizedFrequency it registers a kernel agent that rewrites the MSR
+// every period.
+func Deploy(cm Countermeasure, m *system.Machine, socket int, period sim.Time) error {
+	s := m.Socket(socket)
+	switch cm {
+	case NoCountermeasure:
+		return nil
+	case FixedFrequency:
+		return s.MSR.SetRatio(msr.RatioLimit{Min: 20, Max: 20})
+	case RandomizedFrequency:
+		if period <= 0 {
+			period = 50 * sim.Millisecond
+		}
+		rng := m.Rand(0xF4EE + uint64(socket))
+		m.Engine().Add(&sim.Ticker{
+			Name:     "random-freq",
+			Period:   period,
+			Priority: 5,
+			Fn: func(sim.Time) {
+				f := sim.Freq(15 + rng.IntN(10)) // 1.5–2.4 GHz
+				_ = s.MSR.SetRatio(msr.RatioLimit{Min: f, Max: f})
+			},
+		})
+		return nil
+	case RestrictedRange:
+		return s.MSR.SetRatio(msr.RatioLimit{Min: 15, Max: 17})
+	case BusyUncore:
+		slice, ok := s.Die.SliceAtHops(s.Die.NumCores()-1, 3)
+		if !ok {
+			slice, _ = s.Die.SliceAtHops(s.Die.NumCores()-1, 2)
+		}
+		m.Spawn("busy-uncore", socket, s.Die.NumCores()-1, 0, &workload.Traffic{Slice: slice})
+		return nil
+	}
+	return nil
+}

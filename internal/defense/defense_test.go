@@ -1,0 +1,173 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/msr"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func newMachine(seed uint64) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+func TestBaselineEnv(t *testing.T) {
+	e := Baseline()
+	if !e.SharedMemory || !e.CLFlush || !e.TSX {
+		t.Error("baseline lacks prerequisites")
+	}
+	if !e.EffectiveSharedMemory() {
+		t.Error("baseline shared memory not effective")
+	}
+	p := e.Placement()
+	if p.SenderSocket != p.ReceiverSocket || p.SenderCore == p.ReceiverCore {
+		t.Errorf("baseline placement %+v", p)
+	}
+	if p.SenderDomain != p.ReceiverDomain {
+		t.Error("baseline uses distinct domains")
+	}
+}
+
+func TestPartitionImpliesNoSharing(t *testing.T) {
+	e := Baseline()
+	e.FinePartition = true
+	if e.EffectiveSharedMemory() {
+		t.Error("fine partition still shares memory")
+	}
+	e = Baseline()
+	e.CoarsePartition = true
+	if e.EffectiveSharedMemory() {
+		t.Error("coarse partition still shares memory")
+	}
+	if p := e.Placement(); p.SenderSocket == p.ReceiverSocket {
+		t.Error("coarse partition places parties on one socket")
+	}
+}
+
+func TestRandomizedLLCApply(t *testing.T) {
+	e := Baseline()
+	e.RandomizedLLC = true
+	m := newMachine(1)
+	e.Apply(m)
+	p := e.Placement()
+	h := m.Socket(0).Hier
+	same := 0
+	for l := cache.Line(0); l < 2048; l++ {
+		if h.LLCSetOf(p.SenderDomain, l) == h.LLCSetOf(p.ReceiverDomain, l) {
+			same++
+		}
+	}
+	if same > 64 {
+		t.Errorf("domains agree on %d/2048 sets after randomization", same)
+	}
+}
+
+func TestFinePartitionApply(t *testing.T) {
+	e := Baseline()
+	e.FinePartition = true
+	m := newMachine(2)
+	e.Apply(m)
+	p := e.Placement()
+	h := m.Socket(0).Hier
+	// Domains are confined to disjoint slice halves.
+	for l := cache.Line(0); l < 4096; l++ {
+		sa := h.SliceOf(p.SenderDomain, l)
+		sb := h.SliceOf(p.ReceiverDomain, l)
+		if sa >= 8 {
+			t.Fatalf("sender domain reached slice %d", sa)
+		}
+		if sb < 8 {
+			t.Fatalf("receiver domain reached slice %d", sb)
+		}
+	}
+	if !m.Socket(0).Mesh.TDM() {
+		t.Error("fine partition did not enable TDM scheduling")
+	}
+}
+
+func TestStressThreadsSpawned(t *testing.T) {
+	e := Baseline()
+	e.StressThreads = 3
+	m := newMachine(3)
+	e.Apply(m)
+	busy := 0
+	for c := 0; c < 16; c++ {
+		if m.CoreBusy(0, c) {
+			busy++
+		}
+	}
+	if busy != 3 {
+		t.Errorf("%d cores busy after applying 3 stressors", busy)
+	}
+}
+
+func TestDeployFixedFrequency(t *testing.T) {
+	m := newMachine(4)
+	if err := Deploy(FixedFrequency, m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Socket(0).MSR.Ratio().Fixed() {
+		t.Error("ratio not fixed")
+	}
+	m.Run(100 * sim.Millisecond)
+	if f := m.Socket(0).Uncore(); f != 20 {
+		t.Errorf("uncore at %v, want pinned 2.0GHz", f)
+	}
+}
+
+func TestDeployRestrictedRange(t *testing.T) {
+	m := newMachine(5)
+	if err := Deploy(RestrictedRange, m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rl := m.Socket(0).MSR.Ratio()
+	if rl != (msr.RatioLimit{Min: 15, Max: 17}) {
+		t.Errorf("ratio = %+v, want 1.5-1.7GHz (§6.1)", rl)
+	}
+}
+
+func TestDeployRandomizedFrequency(t *testing.T) {
+	m := newMachine(6)
+	if err := Deploy(RandomizedFrequency, m, 0, 30*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[sim.Freq]bool{}
+	for i := 0; i < 30; i++ {
+		m.Run(30 * sim.Millisecond)
+		seen[m.Socket(0).Uncore()] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("randomized frequency visited only %d points: %v", len(seen), seen)
+	}
+	for f := range seen {
+		if f < 15 || f > 24 {
+			t.Errorf("randomized frequency %v outside 1.5-2.4GHz", f)
+		}
+	}
+}
+
+func TestDeployBusyUncore(t *testing.T) {
+	m := newMachine(7)
+	if err := Deploy(BusyUncore, m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(300 * sim.Millisecond)
+	if f := m.Socket(0).Uncore(); f != 24 {
+		t.Errorf("uncore at %v with busy background thread, want pinned max", f)
+	}
+}
+
+func TestDeployNoCountermeasure(t *testing.T) {
+	m := newMachine(8)
+	if err := Deploy(NoCountermeasure, m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(50 * sim.Millisecond)
+	if f := m.Socket(0).Uncore(); f > 15 {
+		t.Errorf("idle machine at %v", f)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	res, err := Ablate(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) A longer status-sampling window must hurt fast intervals more
+	// than safe ones: the knee moves right.
+	n := len(res.TailWindowMS)
+	if n < 2 {
+		t.Fatal("no tail-window sweep")
+	}
+	if res.BERFast[n-1] <= res.BERFast[0] {
+		t.Errorf("fast-interval BER not increasing with tail window: %v", res.BERFast)
+	}
+	for i, b := range res.BERSafe {
+		if b > res.BERFast[i]+0.02 {
+			t.Errorf("safe interval worse than fast one at tail %v ms", res.TailWindowMS[i])
+		}
+	}
+	// (b) More correlated noise → more errors at the peak.
+	if !(res.BERPeak[0] <= res.BERPeak[1] && res.BERPeak[1] < res.BERPeak[2]) {
+		t.Errorf("BER not increasing with drift noise: %v", res.BERPeak)
+	}
+	// (c) The superlinear distance weighting is what lets one far
+	// thread reach the maximum (Figure 3's 3-hop row); flat weights
+	// cannot.
+	last := len(res.Fig3Types) - 1
+	if res.OneThreadSuper[last] < 2.35 {
+		t.Errorf("default weights: one 3-hop thread reaches %.1f GHz, want 2.4", res.OneThreadSuper[last])
+	}
+	if res.OneThreadFlat[last] >= res.OneThreadSuper[last] {
+		t.Errorf("flat weights reach %.1f GHz, expected below the default %.1f",
+			res.OneThreadFlat[last], res.OneThreadSuper[last])
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "repro/internal/stats"
+
+// capacityOf is the §4.3.2 metric: raw rate × (1 − H(e)).
+func capacityOf(rate, ber float64) float64 { return stats.Capacity(rate, ber) }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// newMachine builds the default Table 1 platform with the experiment seed.
+func newMachine(opts Options) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = opts.Seed
+	return system.New(cfg)
+}
+
+// sampleUncore attaches a sampler recording socket's uncore frequency (in
+// GHz) every period; the paper's traces sample every 200 µs (§3.3) or 3 ms
+// (§5).
+func sampleUncore(m *system.Machine, socket int, period sim.Time, name string) *trace.Series {
+	s := &trace.Series{Name: name}
+	m.Engine().Add(&sim.Ticker{
+		Name:     "sample-" + name,
+		Period:   period,
+		Priority: 100, // after workloads and governor
+		Fn: func(now sim.Time) {
+			s.Add(now, m.Socket(socket).Uncore().GHz())
+		},
+	})
+	return s
+}
+
+// medianFreq runs the machine for settle, then returns the median uncore
+// frequency (GHz) of socket over a further window.
+func medianFreq(m *system.Machine, socket int, settle, window sim.Time) float64 {
+	s := sampleUncore(m, socket, sim.Millisecond, "median")
+	m.Run(settle)
+	start := len(s.Samples)
+	m.Run(window)
+	return stats.Median(s.Values()[start:])
+}
+
+// coresWithSliceAt returns n (core, slice) pairs on the die whose mesh
+// distance is h hops. Cores with an exact-distance slice are preferred; on
+// the irregular fused-off floorplan a few cores may lack one, and those
+// fall back to the nearest available distance (preferring farther), which
+// matches how one would pin threads on the real part.
+func coresWithSliceAt(m *system.Machine, socket, h, n int) ([][2]int, error) {
+	die := m.Socket(socket).Die
+	var out [][2]int
+	var fallback []int
+	for c := 0; c < die.NumCores() && len(out) < n; c++ {
+		if s, ok := die.SliceAtHops(c, h); ok {
+			out = append(out, [2]int{c, s})
+		} else {
+			fallback = append(fallback, c)
+		}
+	}
+	for _, c := range fallback {
+		if len(out) >= n {
+			break
+		}
+		for delta := 1; delta < die.Rows+die.Cols; delta++ {
+			if s, ok := die.SliceAtHops(c, h+delta); ok {
+				out = append(out, [2]int{c, s})
+				break
+			}
+			if h-delta >= 0 {
+				if s, ok := die.SliceAtHops(c, h-delta); ok {
+					out = append(out, [2]int{c, s})
+					break
+				}
+			}
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("experiments: only %d/%d cores on socket %d usable at %d hops", len(out), n, socket, h)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment builds a fresh simulated platform, runs the
+// paper's workload, and renders the same rows/series the paper reports.
+// The per-experiment index lives in DESIGN.md; paper-vs-measured numbers
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Seed fixes all randomness; every experiment is deterministic in
+	// it.
+	Seed uint64
+	// Quick shrinks trial counts and sweep densities for smoke tests
+	// and benchmarks; headline shapes are preserved.
+	Quick bool
+}
+
+// DefaultOptions returns the options used for the recorded results.
+func DefaultOptions() Options { return Options{Seed: 0x5eed} }
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Render writes a human-readable reproduction of the paper
+	// artefact.
+	Render(w io.Writer) error
+}
+
+// Experiment regenerates one paper artefact.
+type Experiment struct {
+	// ID is the index key, e.g. "fig3" or "tab2".
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs are a programming error.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

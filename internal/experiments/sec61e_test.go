@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+func TestSec61eEnergyTradeoff(t *testing.T) {
+	res, err := Sec61e(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Sec61eRow{}
+	for _, r := range res.Rows {
+		rows[r.Name] = r
+	}
+	// The §6.1 anchor: fixing the uncore at freq_max costs roughly 7 %
+	// on the analytics reference workload.
+	fixed := rows["fixed-frequency"]
+	if fixed.OverheadPct < 4 || fixed.OverheadPct > 12 {
+		t.Errorf("fixed-frequency overhead %.1f%%, paper ≈7%%", fixed.OverheadPct)
+	}
+	if !fixed.StopsChannel {
+		t.Error("fixed frequency does not stop the channel")
+	}
+	// Busy-uncore burns comparable energy; restricted range is cheap
+	// but ineffective against the covert channel.
+	if rows["busy-uncore"].OverheadPct < 3 {
+		t.Errorf("busy-uncore overhead %.1f%%, expected comparable to pinning", rows["busy-uncore"].OverheadPct)
+	}
+	if rows["restricted-range"].StopsChannel {
+		t.Error("restricted range should not stop the covert channel (§6.1)")
+	}
+	if rows["restricted-range"].OverheadPct > 0 {
+		t.Errorf("restricted range costs energy (%.1f%%); it should save it", rows["restricted-range"].OverheadPct)
+	}
+	if rows["none"].OverheadPct != 0 {
+		t.Error("baseline overhead not zero")
+	}
+}
+
+func TestSec61fRangeBluntsFingerprinting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fingerprinting sweeps in long mode only")
+	}
+	res, err := Sec61f(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.1: the narrow range makes site traces much harder to
+	// distinguish, while the default range fingerprints well.
+	if res.Top1Default < 0.7 {
+		t.Errorf("default-range top-1 %.2f unexpectedly low", res.Top1Default)
+	}
+	if res.Top1Range > res.Top1Default-0.15 {
+		t.Errorf("restricted range barely hurts fingerprinting: %.2f vs %.2f",
+			res.Top1Range, res.Top1Default)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import "testing"
+
+func TestTab2Shape(t *testing.T) {
+	res, err := Tab2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capacity) != len(res.N) {
+		t.Fatalf("ragged result")
+	}
+	first := res.Capacity[0]
+	last := res.Capacity[len(res.Capacity)-1]
+	if first < 2 {
+		t.Errorf("capacity under stress-ng -1 = %.1f bit/s, want clearly functional (paper 8.6)", first)
+	}
+	if last > 1.5 {
+		t.Errorf("capacity under stress-ng -9 = %.1f bit/s, want ≈0 (paper ~0)", last)
+	}
+	if last >= first {
+		t.Errorf("capacity does not decline with stress threads: %v", res.Capacity)
+	}
+}
+
+func TestSec61Countermeasures(t *testing.T) {
+	res, err := Sec61(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range res.Cases {
+		got[c.Name] = c.Functional
+	}
+	for name, want := range Sec61Expected {
+		if got[name] != want {
+			t.Errorf("countermeasure %s: functional=%v, paper says %v", name, got[name], want)
+		}
+	}
+	// §6.1: restricting the range does not reduce the capacity.
+	var none, restricted float64
+	for _, c := range res.Cases {
+		switch c.Name {
+		case "none":
+			none = c.Capacity
+		case "restricted-range":
+			restricted = c.Capacity
+		}
+	}
+	if restricted < none*0.8 {
+		t.Errorf("restricted range capacity %.1f far below unrestricted %.1f; paper says it stays the same", restricted, none)
+	}
+}
+
+func TestFig11FileSizeProfiling(t *testing.T) {
+	res, err := Fig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dwell grows with size (Figure 11's visual claim).
+	for i := 1; i < len(res.Dwell); i++ {
+		if res.Dwell[i] <= res.Dwell[i-1] {
+			t.Errorf("dwell not increasing with size: %v", res.Dwell)
+		}
+	}
+	if res.Accuracy < 0.95 {
+		t.Errorf("size classification accuracy %.2f, paper >0.99", res.Accuracy)
+	}
+}
+
+func TestFig12FingerprintQuick(t *testing.T) {
+	res, err := Fig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Top1 < 0.6 {
+		t.Errorf("top-1 accuracy %.2f on reduced corpus, want ≥0.6", res.Report.Top1)
+	}
+	if res.Report.Top5 < res.Report.Top1 {
+		t.Error("top-5 below top-1")
+	}
+}
+
+func TestFig12FullAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 100-site evaluation in long mode only")
+	}
+	res, err := Fig12(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 82.18 % top-1, 91.48 % top-5 over 100 sites.
+	if res.Report.Top1 < 0.70 || res.Report.Top1 > 0.95 {
+		t.Errorf("top-1 = %.2f%%, paper 82.18%%", res.Report.Top1*100)
+	}
+	if res.Report.Top5 < res.Report.Top1 || res.Report.Top5 < 0.85 {
+		t.Errorf("top-5 = %.2f%%, paper 91.48%%", res.Report.Top5*100)
+	}
+}

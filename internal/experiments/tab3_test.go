@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+// TestTab3MatchesPaperMatrix reruns every Table 3 cell and compares the
+// functionality verdicts against the paper's ✓/✗ matrix.
+func TestTab3MatchesPaperMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in long mode only")
+	}
+	res, err := Tab3(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Tab3Expected) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(Tab3Expected))
+	}
+	for _, row := range res.Rows {
+		want, ok := Tab3Expected[row]
+		if !ok {
+			t.Errorf("unexpected row %q", row)
+			continue
+		}
+		cells := res.Cells[row]
+		for j, col := range res.Columns {
+			if cells[j].Functional != want[j] {
+				t.Errorf("%s under %s: functional=%v (BER %.2f), paper says %v",
+					row, col, cells[j].Functional, cells[j].BER, want[j])
+			}
+		}
+	}
+}
+
+// TestTab3QuickSpotChecks verifies the headline cells cheaply: the two
+// channels the paper singles out as surviving partitioning, and a classic
+// channel dying under it.
+func TestTab3QuickSpotChecks(t *testing.T) {
+	res, err := Tab3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for j, c := range res.Columns {
+		col[c] = j
+	}
+	check := func(row, column string, want bool) {
+		t.Helper()
+		got := res.Cells[row][col[column]].Functional
+		if got != want {
+			t.Errorf("%s under %s: functional=%v, want %v (BER %.2f)",
+				row, column, got, want, res.Cells[row][col[column]].BER)
+		}
+	}
+	// UF-variation survives everything (the paper's headline claim).
+	for _, c := range res.Columns {
+		check("UF-variation", c, true)
+	}
+	// Uncore-idle survives partitioning but dies under load.
+	check("Uncore-idle", "coarse-partition", true)
+	check("Uncore-idle", "stress-ng-4", false)
+	// Prime+Probe dies under randomization and partitioning.
+	check("Prime+Probe", "randomized-llc", false)
+	check("Prime+Probe", "fine-partition", false)
+	// SPP beats randomization but not partitioning.
+	check("SPP", "randomized-llc", true)
+	check("SPP", "fine-partition", false)
+	// Contention channels die only under partitioning.
+	check("Mesh-contention", "randomized-llc", true)
+	check("Mesh-contention", "fine-partition", false)
+	// IccCoresCovert dies only across sockets.
+	check("IccCoresCovert", "fine-partition", true)
+	check("IccCoresCovert", "coarse-partition", false)
+	// Data-reuse channels need their prerequisites.
+	check("Flush+Reload", "no-shared-mem", false)
+	check("Flush+Reload", "randomized-llc", true)
+	check("Prime+Abort", "no-tsx", false)
+	check("Reload+Refresh", "randomized-llc", false)
+}

@@ -1,0 +1,121 @@
+// Package memsys provides the address-set construction the paper's
+// workloads rely on: eviction lists EV_j(i) — groups of cache lines that
+// all map to L2 set i and LLC slice j (§3.1) — pointer-chase lists
+// (Listing 2), and LLC set-conflict sets for the Prime+Probe family of
+// baseline channels.
+//
+// An unprivileged attacker on real hardware finds such addresses by timing
+// (§2.1: "the user can infer this mapping indirectly using timing
+// information"); here the construction queries the same mapping the
+// hierarchy itself uses for the builder's own domain, which is the
+// information timing reveals.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Allocator hands out disjoint physical line ranges to actors, so that
+// independently allocated buffers never alias. Two actors that explicitly
+// share memory (the Flush+Reload prerequisite) pass the same lines around
+// instead.
+type Allocator struct {
+	next cache.Line
+}
+
+// NewAllocator returns an allocator starting at a non-zero base, so that
+// line 0 never appears (it is a handy sentinel in tests).
+func NewAllocator() *Allocator { return &Allocator{next: 1 << 20} }
+
+// Reserve returns n fresh, consecutively numbered lines.
+func (a *Allocator) Reserve(n int) []cache.Line {
+	if n <= 0 {
+		panic(fmt.Sprintf("memsys: cannot reserve %d lines", n))
+	}
+	out := make([]cache.Line, n)
+	for i := range out {
+		out[i] = a.next
+		a.next++
+	}
+	return out
+}
+
+// searchLimit bounds address-space scans; generous relative to any list the
+// experiments build.
+const searchLimit = 1 << 26
+
+// EvictionList returns m lines that map to L2 set l2set and LLC slice
+// slice under domain d's view of hierarchy h. These are the EV_slice(l2set)
+// lists of §3.1: accessed in a fixed rotation they always miss the L2 (the
+// list is longer than the L2 associativity) and always hit the LLC.
+// The allocator's address space is consumed; candidate lines that map
+// elsewhere are skipped, as a real attacker's page pool would be.
+func EvictionList(h *cache.Hierarchy, d cache.Domain, a *Allocator, l2set, slice, m int) ([]cache.Line, error) {
+	geom := h.Geometry()
+	if l2set < 0 || l2set >= geom.L2Sets {
+		return nil, fmt.Errorf("memsys: L2 set %d out of range [0,%d)", l2set, geom.L2Sets)
+	}
+	if slice < 0 || slice >= geom.Slices {
+		return nil, fmt.Errorf("memsys: slice %d out of range [0,%d)", slice, geom.Slices)
+	}
+	var out []cache.Line
+	for tries := 0; len(out) < m && tries < searchLimit; tries++ {
+		// Advance to the next line whose low bits select the wanted
+		// L2 set, consuming the skipped address space.
+		base := a.next
+		line := (base &^ cache.Line(geom.L2Sets-1)) | cache.Line(l2set)
+		if line < base {
+			line += cache.Line(geom.L2Sets)
+		}
+		a.next = line + 1
+		if h.SliceOf(d, line) != slice {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) < m {
+		return nil, fmt.Errorf("memsys: found only %d/%d lines for L2 set %d slice %d", len(out), m, l2set, slice)
+	}
+	return out, nil
+}
+
+// EvictionLists builds n lists of m lines each (the EV_lists[n][m] of
+// Listing 1), using consecutive L2 sets starting at l2base, all homed on
+// the same LLC slice.
+func EvictionLists(h *cache.Hierarchy, d cache.Domain, a *Allocator, l2base, slice, n, m int) ([][]cache.Line, error) {
+	geom := h.Geometry()
+	lists := make([][]cache.Line, n)
+	for i := range lists {
+		l, err := EvictionList(h, d, a, (l2base+i)%geom.L2Sets, slice, m)
+		if err != nil {
+			return nil, err
+		}
+		lists[i] = l
+	}
+	return lists, nil
+}
+
+// ConflictSet returns count lines that all map to the given LLC slice and
+// LLC set under domain d's view: the eviction set a Prime+Probe attacker
+// constructs. Under a randomized-index defence the set is valid for d's
+// own mapping only, which is exactly the attacker's predicament.
+func ConflictSet(h *cache.Hierarchy, d cache.Domain, a *Allocator, slice, llcSet, count int) ([]cache.Line, error) {
+	geom := h.Geometry()
+	if llcSet < 0 || llcSet >= geom.LLCSets {
+		return nil, fmt.Errorf("memsys: LLC set %d out of range [0,%d)", llcSet, geom.LLCSets)
+	}
+	var out []cache.Line
+	for tries := 0; len(out) < count && tries < searchLimit; tries++ {
+		line := a.Reserve(1)[0]
+		if h.SliceOf(d, line) != slice || h.LLCSetOf(d, line) != llcSet {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) < count {
+		return nil, fmt.Errorf("memsys: found only %d/%d lines for slice %d LLC set %d", len(out), count, slice, llcSet)
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+// Package mesh models the on-chip interconnect of §2.1: a 2D mesh of
+// routers (one per tile, including disabled tiles, whose routers remain
+// functional) with dimension-ordered routing. It accounts traffic per
+// directed link per simulation quantum, from which it derives:
+//
+//   - the contention penalty a given transfer suffers (the leakage source
+//     of the Mesh-contention baseline channel), and
+//   - the distance-weighted "pressure" metric the UFS governor consumes
+//     (heavier, longer-distance traffic pushes the uncore frequency up;
+//     §3.1, Figure 3).
+//
+// A ring topology variant covers older parts (the Ring-contention baseline)
+// and a time-division-multiplexing mode models the interconnect
+// partitioning defence of §4.4 (SurfNoC-style scheduling), which removes
+// cross-domain contention at the price of a fixed slot latency.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Kind selects the interconnect topology.
+type Kind int
+
+const (
+	// KindMesh is the Skylake-SP 2D mesh with Y-then-X routing.
+	KindMesh Kind = iota
+	// KindRing is the older ring bus: tiles ordered around a loop,
+	// traffic takes the shorter arc.
+	KindRing
+)
+
+// Link is a directed router-to-router edge.
+type Link struct {
+	From, To topo.Coord
+}
+
+func (l Link) String() string { return fmt.Sprintf("%v->%v", l.From, l.To) }
+
+// Params holds the interconnect model constants.
+type Params struct {
+	// FlitsPerAccess is the link occupancy of one LLC transaction in
+	// each direction (request one way, data the other).
+	FlitsPerAccess float64
+	// LinkFlitsPerCycle is a link's capacity in flits per uncore cycle.
+	LinkFlitsPerCycle float64
+	// ContentionThreshold is the utilisation fraction above which a
+	// link starts to delay crossing traffic.
+	ContentionThreshold float64
+	// ContentionMaxCycles is the added uncore-cycle delay per crossed
+	// link at full utilisation.
+	ContentionMaxCycles float64
+	// TDMSlotCycles is the fixed extra per-link latency paid under
+	// time-multiplexed scheduling (waiting for the domain's slot).
+	TDMSlotCycles float64
+}
+
+// DefaultParams returns constants sized so that a handful of saturating
+// traffic threads sharing a link produce a clearly measurable (several
+// uncore cycles) delay, matching the magnitudes reported for mesh
+// interference attacks.
+func DefaultParams() Params {
+	return Params{
+		FlitsPerAccess:      5, // 1 request + 4 data flits averaged per direction
+		LinkFlitsPerCycle:   8,
+		ContentionThreshold: 0.02,
+		ContentionMaxCycles: 60,
+		TDMSlotCycles:       2,
+	}
+}
+
+// Mesh accounts interconnect traffic for one socket over one simulation
+// quantum. The system resets it every quantum via BeginQuantum.
+type Mesh struct {
+	die    *topo.Die
+	kind   Kind
+	params Params
+
+	// load is flits injected this quantum, per link per domain.
+	load map[Link]map[cache.Domain]float64
+
+	// quantum capacity in flits, refreshed each BeginQuantum.
+	capacity float64
+
+	// tdm enables time-division multiplexing between domains.
+	tdm bool
+
+	ringOrder map[topo.Coord]int
+
+	totalFlitHops float64
+}
+
+// New returns an interconnect for the given die.
+func New(die *topo.Die, kind Kind, params Params) *Mesh {
+	m := &Mesh{
+		die:    die,
+		kind:   kind,
+		params: params,
+		load:   make(map[Link]map[cache.Domain]float64),
+	}
+	if kind == KindRing {
+		m.ringOrder = make(map[topo.Coord]int)
+		// Serpentine order over the grid approximates the physical
+		// ring stops.
+		i := 0
+		for r := 0; r < die.Rows; r++ {
+			for c := 0; c < die.Cols; c++ {
+				col := c
+				if r%2 == 1 {
+					col = die.Cols - 1 - c
+				}
+				m.ringOrder[topo.Coord{Col: col, Row: r}] = i
+				i++
+			}
+		}
+	}
+	return m
+}
+
+// SetTDM switches time-division-multiplexed scheduling on or off.
+func (m *Mesh) SetTDM(on bool) { m.tdm = on }
+
+// TDM reports whether time-multiplexed scheduling is active.
+func (m *Mesh) TDM() bool { return m.tdm }
+
+// BeginQuantum clears the per-quantum load accounting and recomputes link
+// capacity for the quantum length and current uncore frequency.
+func (m *Mesh) BeginQuantum(quantum sim.Time, fUncore sim.Freq) {
+	for k := range m.load {
+		delete(m.load, k)
+	}
+	m.capacity = fUncore.CyclesIn(quantum) * m.params.LinkFlitsPerCycle
+	m.totalFlitHops = 0
+}
+
+// Route returns the directed links from src to dst. The mesh uses Y-then-X
+// dimension-ordered routing (traffic moves vertically first, as on
+// Skylake-SP); the ring takes the shorter arc.
+func (m *Mesh) Route(src, dst topo.Coord) []Link {
+	if src == dst {
+		return nil
+	}
+	var links []Link
+	switch m.kind {
+	case KindMesh:
+		cur := src
+		for cur.Row != dst.Row {
+			next := cur
+			if dst.Row > cur.Row {
+				next.Row++
+			} else {
+				next.Row--
+			}
+			links = append(links, Link{From: cur, To: next})
+			cur = next
+		}
+		for cur.Col != dst.Col {
+			next := cur
+			if dst.Col > cur.Col {
+				next.Col++
+			} else {
+				next.Col--
+			}
+			links = append(links, Link{From: cur, To: next})
+			cur = next
+		}
+	case KindRing:
+		n := m.die.Rows * m.die.Cols
+		a, b := m.ringOrder[src], m.ringOrder[dst]
+		fwd := (b - a + n) % n
+		step := 1
+		if fwd > n-fwd {
+			step = n - 1 // go backwards
+		}
+		cur := a
+		for cur != b {
+			next := (cur + step) % n
+			links = append(links, Link{From: m.coordAt(cur), To: m.coordAt(next)})
+			cur = next
+		}
+	}
+	return links
+}
+
+func (m *Mesh) coordAt(order int) topo.Coord {
+	for c, i := range m.ringOrder {
+		if i == order {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("mesh: no tile at ring position %d", order))
+}
+
+// Hops returns the routed hop count between two tiles.
+func (m *Mesh) Hops(src, dst topo.Coord) int { return len(m.Route(src, dst)) }
+
+// AddTraffic records accesses LLC transactions flowing between src and dst
+// this quantum on behalf of domain d. Both directions are loaded (request
+// and data paths).
+func (m *Mesh) AddTraffic(d cache.Domain, src, dst topo.Coord, accesses float64) {
+	if accesses <= 0 || src == dst {
+		return
+	}
+	flits := accesses * m.params.FlitsPerAccess
+	for _, dir := range [2][2]topo.Coord{{src, dst}, {dst, src}} {
+		for _, l := range m.Route(dir[0], dir[1]) {
+			byDomain := m.load[l]
+			if byDomain == nil {
+				byDomain = make(map[cache.Domain]float64)
+				m.load[l] = byDomain
+			}
+			byDomain[d] += flits
+			m.totalFlitHops += flits
+		}
+	}
+}
+
+// ContentionCycles returns the extra uncore cycles a single transaction of
+// domain d travelling src→dst suffers from traffic injected this quantum.
+// Under TDM, other domains' load is invisible (their slots are disjoint)
+// but every crossed link costs a fixed slot-wait.
+func (m *Mesh) ContentionCycles(d cache.Domain, src, dst topo.Coord) float64 {
+	if src == dst {
+		return 0
+	}
+	route := m.Route(src, dst)
+	var extra float64
+	for _, l := range route {
+		if m.tdm {
+			extra += m.params.TDMSlotCycles
+			// Same-domain queueing still applies below.
+		}
+		byDomain := m.load[l]
+		if byDomain == nil || m.capacity <= 0 {
+			continue
+		}
+		var flits float64
+		for dom, f := range byDomain {
+			if m.tdm && dom != d {
+				continue
+			}
+			flits += f
+		}
+		util := flits / m.capacity
+		if util > m.params.ContentionThreshold {
+			over := util - m.params.ContentionThreshold
+			if over > 1 {
+				over = 1
+			}
+			extra += over * m.params.ContentionMaxCycles
+		}
+	}
+	return extra
+}
+
+// TotalFlitHops returns the flit·hop volume injected this quantum, an
+// aggregate utilisation signal.
+func (m *Mesh) TotalFlitHops() float64 { return m.totalFlitHops }

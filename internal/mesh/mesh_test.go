@@ -1,0 +1,158 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func newMesh(kind Kind) *Mesh {
+	return New(topo.XeonGold6142Socket0, kind, DefaultParams())
+}
+
+func TestMeshRouteDimensionOrder(t *testing.T) {
+	m := newMesh(KindMesh)
+	// Y-then-X: (0,1) -> (2,3) goes down column 0 first, then across
+	// row 3.
+	route := m.Route(topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 2, Row: 3})
+	want := []Link{
+		{topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 0, Row: 2}},
+		{topo.Coord{Col: 0, Row: 2}, topo.Coord{Col: 0, Row: 3}},
+		{topo.Coord{Col: 0, Row: 3}, topo.Coord{Col: 1, Row: 3}},
+		{topo.Coord{Col: 1, Row: 3}, topo.Coord{Col: 2, Row: 3}},
+	}
+	if len(route) != len(want) {
+		t.Fatalf("route %v, want %v", route, want)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route %v, want %v", route, want)
+		}
+	}
+}
+
+func TestMeshHopsMatchManhattan(t *testing.T) {
+	m := newMesh(KindMesh)
+	f := func(a, b, c, d uint8) bool {
+		p := topo.Coord{Col: int(a) % 5, Row: int(b) % 6}
+		q := topo.Coord{Col: int(c) % 5, Row: int(d) % 6}
+		return m.Hops(p, q) == p.Hops(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingRouteShorterArc(t *testing.T) {
+	m := newMesh(KindRing)
+	// Ring routes are connected sequences and never longer than half
+	// the ring.
+	n := 30
+	for _, pair := range [][2]topo.Coord{
+		{{Col: 0, Row: 0}, {Col: 4, Row: 5}},
+		{{Col: 0, Row: 1}, {Col: 0, Row: 2}},
+		{{Col: 3, Row: 3}, {Col: 2, Row: 1}},
+	} {
+		route := m.Route(pair[0], pair[1])
+		if len(route) == 0 || len(route) > n/2 {
+			t.Errorf("ring route %v->%v has %d hops", pair[0], pair[1], len(route))
+		}
+		if route[0].From != pair[0] || route[len(route)-1].To != pair[1] {
+			t.Errorf("ring route endpoints wrong: %v", route)
+		}
+		for i := 1; i < len(route); i++ {
+			if route[i].From != route[i-1].To {
+				t.Fatalf("disconnected ring route: %v", route)
+			}
+		}
+	}
+}
+
+func TestContentionRequiresLoad(t *testing.T) {
+	m := newMesh(KindMesh)
+	m.BeginQuantum(200*sim.Microsecond, 24)
+	src, dst := topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 0, Row: 4}
+	if c := m.ContentionCycles(0, src, dst); c != 0 {
+		t.Errorf("contention on empty mesh = %v", c)
+	}
+	// Heavy traffic on the same path must delay a crossing transaction.
+	m.AddTraffic(0, src, dst, 50_000)
+	if c := m.ContentionCycles(0, src, dst); c <= 0 {
+		t.Error("no contention under heavy same-path load")
+	}
+	// A disjoint path stays clean.
+	if c := m.ContentionCycles(0, topo.Coord{Col: 4, Row: 0}, topo.Coord{Col: 4, Row: 1}); c != 0 {
+		t.Errorf("contention on disjoint path = %v", c)
+	}
+}
+
+func TestContentionScalesWithLoad(t *testing.T) {
+	src, dst := topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 0, Row: 4}
+	level := func(acc float64) float64 {
+		m := newMesh(KindMesh)
+		m.BeginQuantum(200*sim.Microsecond, 24)
+		m.AddTraffic(0, src, dst, acc)
+		return m.ContentionCycles(0, src, dst)
+	}
+	lo, hi := level(20_000), level(60_000)
+	if hi <= lo {
+		t.Errorf("contention not increasing with load: %v vs %v", lo, hi)
+	}
+}
+
+func TestBeginQuantumResets(t *testing.T) {
+	m := newMesh(KindMesh)
+	m.BeginQuantum(200*sim.Microsecond, 24)
+	src, dst := topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 0, Row: 4}
+	m.AddTraffic(0, src, dst, 50_000)
+	if m.TotalFlitHops() == 0 {
+		t.Fatal("no flit-hops recorded")
+	}
+	m.BeginQuantum(200*sim.Microsecond, 24)
+	if m.TotalFlitHops() != 0 {
+		t.Error("flit-hops survived BeginQuantum")
+	}
+	if c := m.ContentionCycles(0, src, dst); c != 0 {
+		t.Error("load survived BeginQuantum")
+	}
+}
+
+func TestTDMIsolatesDomains(t *testing.T) {
+	m := newMesh(KindMesh)
+	m.SetTDM(true)
+	if !m.TDM() {
+		t.Fatal("TDM not enabled")
+	}
+	m.BeginQuantum(200*sim.Microsecond, 24)
+	src, dst := topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 0, Row: 4}
+	// Domain 1 floods; domain 2 must see only the fixed slot cost.
+	m.AddTraffic(1, src, dst, 80_000)
+	cOther := m.ContentionCycles(2, src, dst)
+	slotOnly := float64(len(m.Route(src, dst))) * DefaultParams().TDMSlotCycles
+	if cOther != slotOnly {
+		t.Errorf("cross-domain contention under TDM = %v, want slot cost %v", cOther, slotOnly)
+	}
+	// Same-domain queueing still applies.
+	if cSame := m.ContentionCycles(1, src, dst); cSame <= slotOnly {
+		t.Error("same-domain contention vanished under TDM")
+	}
+}
+
+func TestAddTrafficIgnoresDegenerate(t *testing.T) {
+	m := newMesh(KindMesh)
+	m.BeginQuantum(200*sim.Microsecond, 24)
+	m.AddTraffic(0, topo.Coord{Col: 1, Row: 1}, topo.Coord{Col: 1, Row: 1}, 100)
+	m.AddTraffic(0, topo.Coord{Col: 1, Row: 1}, topo.Coord{Col: 2, Row: 1}, -5)
+	if m.TotalFlitHops() != 0 {
+		t.Error("degenerate traffic recorded")
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	l := Link{topo.Coord{Col: 0, Row: 1}, topo.Coord{Col: 0, Row: 2}}
+	if l.String() != "(0,1)->(0,2)" {
+		t.Errorf("Link.String() = %q", l.String())
+	}
+}

@@ -1,0 +1,152 @@
+// Package msr models the model-specific-register interface through which
+// system software observes and constrains the uncore (§2.2 and §3 of the
+// paper). Two registers matter for the reproduction:
+//
+//   - UNCORE_RATIO_LIMIT (0x620): the OS writes the minimum and maximum
+//     uncore ratios here (Figure 1); the UFS hardware only moves the uncore
+//     frequency within that range. Setting min == max disables UFS.
+//   - U_PMON_UCLK_FIXED_CTR (0x704): a free-running counter incremented at
+//     every uncore clock tick; reading it twice yields the current uncore
+//     frequency, which is how §3 measures frequency traces.
+//
+// Reads and writes are privilege-checked: the covert-channel threat model
+// (§4.1) gives sender and receiver *unprivileged* access only, which is why
+// the receiver must fall back to timing LLC loads (§4.2).
+package msr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Register addresses (Intel SDM numbering, for familiarity).
+const (
+	// UncoreRatioLimit is MSR_UNCORE_RATIO_LIMIT (0x620).
+	UncoreRatioLimit uint32 = 0x620
+	// UclkFixedCtr is U_PMON_UCLK_FIXED_CTR (0x704), the uncore clock
+	// tick counter.
+	UclkFixedCtr uint32 = 0x704
+)
+
+// Privilege is the access level of an MSR client.
+type Privilege int
+
+const (
+	// User is an unprivileged process; MSR access is denied (§4.2).
+	User Privilege = iota
+	// Kernel is ring-0 system software.
+	Kernel
+)
+
+// ErrPermission is returned when an unprivileged client touches an MSR.
+var ErrPermission = errors.New("msr: permission denied (requires kernel privilege)")
+
+// ErrUnknown is returned for an unimplemented register address.
+var ErrUnknown = errors.New("msr: unknown register")
+
+// RatioLimit is the decoded content of UNCORE_RATIO_LIMIT. Figure 1: bits
+// 6:0 hold the maximum ratio and bits 14:8 the minimum ratio, both in units
+// of 100 MHz.
+type RatioLimit struct {
+	Min, Max sim.Freq
+}
+
+// Encode packs the limit into the register layout of Figure 1.
+func (rl RatioLimit) Encode() uint64 {
+	return uint64(rl.Max&0x7f) | uint64(rl.Min&0x7f)<<8
+}
+
+// DecodeRatioLimit unpacks a raw UNCORE_RATIO_LIMIT value.
+func DecodeRatioLimit(raw uint64) RatioLimit {
+	return RatioLimit{
+		Max: sim.Freq(raw & 0x7f),
+		Min: sim.Freq(raw >> 8 & 0x7f),
+	}
+}
+
+// Validate checks that the limit is usable: ratios must be positive and
+// min must not exceed max.
+func (rl RatioLimit) Validate() error {
+	if rl.Min <= 0 || rl.Max <= 0 {
+		return fmt.Errorf("msr: non-positive uncore ratio %v..%v", rl.Min, rl.Max)
+	}
+	if rl.Min > rl.Max {
+		return fmt.Errorf("msr: uncore ratio min %v above max %v", rl.Min, rl.Max)
+	}
+	return nil
+}
+
+// Fixed reports whether the limit pins the uncore to a single frequency,
+// which disables UFS (§2.2.1: "UFS is also disabled if the OS sets the
+// minimum and maximum uncore frequencies to be the same").
+func (rl RatioLimit) Fixed() bool { return rl.Min == rl.Max }
+
+// File is one socket's MSR register file. The uncore clock counter is
+// maintained by the UFS governor via TickUclk.
+type File struct {
+	ratio RatioLimit
+	uclk  uint64
+}
+
+// NewFile returns a register file with the platform-default uncore range
+// 1.2–2.4 GHz (Table 1).
+func NewFile() *File {
+	return &File{ratio: RatioLimit{Min: sim.UncoreMinDefault, Max: sim.UncoreMaxDefault}}
+}
+
+// Read returns the value of register addr at privilege p.
+func (f *File) Read(p Privilege, addr uint32) (uint64, error) {
+	if p != Kernel {
+		return 0, ErrPermission
+	}
+	switch addr {
+	case UncoreRatioLimit:
+		return f.ratio.Encode(), nil
+	case UclkFixedCtr:
+		return f.uclk, nil
+	default:
+		return 0, fmt.Errorf("%w: %#x", ErrUnknown, addr)
+	}
+}
+
+// Write stores value into register addr at privilege p. Writes to the
+// read-only UCLK counter are rejected.
+func (f *File) Write(p Privilege, addr uint32, value uint64) error {
+	if p != Kernel {
+		return ErrPermission
+	}
+	switch addr {
+	case UncoreRatioLimit:
+		rl := DecodeRatioLimit(value)
+		if err := rl.Validate(); err != nil {
+			return err
+		}
+		f.ratio = rl
+		return nil
+	case UclkFixedCtr:
+		return fmt.Errorf("msr: U_PMON_UCLK_FIXED_CTR is read-only")
+	default:
+		return fmt.Errorf("%w: %#x", ErrUnknown, addr)
+	}
+}
+
+// Ratio returns the current uncore ratio limit. The UFS governor consults
+// this every epoch.
+func (f *File) Ratio() RatioLimit { return f.ratio }
+
+// SetRatio is a convenience kernel-side write of UNCORE_RATIO_LIMIT.
+func (f *File) SetRatio(rl RatioLimit) error {
+	return f.Write(Kernel, UncoreRatioLimit, rl.Encode())
+}
+
+// TickUclk advances the uncore clock counter by the number of uncore cycles
+// elapsed while running at freq for duration d. Called by the governor.
+func (f *File) TickUclk(freq sim.Freq, d sim.Time) {
+	f.uclk += uint64(freq.CyclesIn(d))
+}
+
+// Uclk returns the raw uncore tick count (kernel-only via Read; this
+// accessor exists for the governor and tests).
+func (f *File) Uclk() uint64 { return f.uclk }

@@ -1,0 +1,122 @@
+package msr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRatioLimitEncodeDecode(t *testing.T) {
+	rl := RatioLimit{Min: 12, Max: 24}
+	raw := rl.Encode()
+	// Figure 1 layout: bits 6:0 max, 14:8 min.
+	if raw&0x7f != 24 {
+		t.Errorf("max field = %d, want 24", raw&0x7f)
+	}
+	if raw>>8&0x7f != 12 {
+		t.Errorf("min field = %d, want 12", raw>>8&0x7f)
+	}
+	if got := DecodeRatioLimit(raw); got != rl {
+		t.Errorf("round trip = %+v, want %+v", got, rl)
+	}
+}
+
+func TestRatioLimitRoundTripQuick(t *testing.T) {
+	f := func(min, max uint8) bool {
+		rl := RatioLimit{Min: sim.Freq(min & 0x7f), Max: sim.Freq(max & 0x7f)}
+		return DecodeRatioLimit(rl.Encode()) == rl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioLimitValidate(t *testing.T) {
+	if err := (RatioLimit{Min: 12, Max: 24}).Validate(); err != nil {
+		t.Errorf("valid limit rejected: %v", err)
+	}
+	if err := (RatioLimit{Min: 24, Max: 12}).Validate(); err == nil {
+		t.Error("min>max accepted")
+	}
+	if err := (RatioLimit{Min: 0, Max: 24}).Validate(); err == nil {
+		t.Error("zero min accepted")
+	}
+	if !(RatioLimit{Min: 20, Max: 20}).Fixed() {
+		t.Error("equal min/max not reported fixed")
+	}
+}
+
+func TestFileDefaults(t *testing.T) {
+	f := NewFile()
+	rl := f.Ratio()
+	if rl.Min != sim.UncoreMinDefault || rl.Max != sim.UncoreMaxDefault {
+		t.Errorf("default ratio = %+v, want 1.2-2.4 GHz (Table 1)", rl)
+	}
+}
+
+func TestPrivilegeEnforcement(t *testing.T) {
+	f := NewFile()
+	// §4.2: "accessing MSRs is generally only allowed for privileged
+	// users" — the receiver cannot read the frequency directly.
+	if _, err := f.Read(User, UclkFixedCtr); !errors.Is(err, ErrPermission) {
+		t.Errorf("user-mode read error = %v, want permission denied", err)
+	}
+	if err := f.Write(User, UncoreRatioLimit, 0x0f0f); !errors.Is(err, ErrPermission) {
+		t.Errorf("user-mode write error = %v, want permission denied", err)
+	}
+	if _, err := f.Read(Kernel, UclkFixedCtr); err != nil {
+		t.Errorf("kernel read failed: %v", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	f := NewFile()
+	if err := f.Write(Kernel, UncoreRatioLimit, RatioLimit{Min: 24, Max: 12}.Encode()); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := f.Write(Kernel, UclkFixedCtr, 1); err == nil {
+		t.Error("write to read-only counter accepted")
+	}
+	if _, err := f.Read(Kernel, 0xdead); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown register read error = %v", err)
+	}
+	if err := f.Write(Kernel, 0xdead, 0); err == nil {
+		t.Error("unknown register write accepted")
+	}
+}
+
+func TestUclkCountsUncoreCycles(t *testing.T) {
+	f := NewFile()
+	f.TickUclk(24, 10*sim.Millisecond) // 2.4 GHz for 10 ms = 24M ticks
+	got, err := f.Read(Kernel, UclkFixedCtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 24_000_000 {
+		t.Errorf("UCLK = %d, want 24000000", got)
+	}
+	// Reading twice and differencing yields the frequency (§3's
+	// methodology).
+	f.TickUclk(15, 10*sim.Millisecond)
+	got2, _ := f.Read(Kernel, UclkFixedCtr)
+	if diff := got2 - got; diff != 15_000_000 {
+		t.Errorf("second window ticks = %d, want 15000000", diff)
+	}
+}
+
+func TestSetRatioRoundTrip(t *testing.T) {
+	f := NewFile()
+	want := RatioLimit{Min: 15, Max: 17}
+	if err := f.SetRatio(want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.Read(Kernel, UncoreRatioLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeRatioLimit(raw); got != want {
+		t.Errorf("ratio after SetRatio = %+v, want %+v", got, want)
+	}
+}

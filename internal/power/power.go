@@ -1,0 +1,74 @@
+// Package power models the energy side of the UFS trade-off discussed in
+// §6.1: the uncore's dynamic power grows roughly cubically with its
+// frequency (voltage scales with frequency, P ≈ C·V²·f), so pinning the
+// uncore at freq_max — the simplest countermeasure — costs real energy.
+// The paper quantifies the stake with a graph-analytics workload: fixing
+// the frequency at the maximum raises energy consumption by ≈7 %.
+//
+// The model is a two-component package-power estimate: a frequency-
+// independent base (cores, leakage, DRAM) plus the uncore's dynamic term.
+// Its single free parameter is calibrated so a representative
+// mixed-utilisation workload reproduces the paper's ≈7 % figure
+// (experiment sec61e / BenchmarkSec61EnergyTradeoff).
+package power
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Params holds the package-power model constants, in watts.
+type Params struct {
+	// BaseWatts covers everything that does not scale with the uncore
+	// clock: core pipelines, leakage, DRAM refresh.
+	BaseWatts float64
+	// UncoreMaxWatts is the uncore's dynamic power at the maximum
+	// frequency; it scales with (f/fmax)³ below it.
+	UncoreMaxWatts float64
+	// FMax anchors the cubic scale.
+	FMax sim.Freq
+}
+
+// Default returns constants calibrated to the §6.1 figure: a workload
+// that would otherwise let the uncore idle half the time pays ≈7 % more
+// energy with the uncore pinned at 2.4 GHz.
+func Default() Params {
+	return Params{
+		BaseWatts:      95,
+		UncoreMaxWatts: 28,
+		FMax:           sim.UncoreMaxDefault,
+	}
+}
+
+// Watts returns the instantaneous package power at an uncore frequency.
+func (p Params) Watts(f sim.Freq) float64 {
+	r := f.GHz() / p.FMax.GHz()
+	return p.BaseWatts + p.UncoreMaxWatts*r*r*r
+}
+
+// Meter integrates package energy over a run from a frequency trace.
+type Meter struct {
+	params Params
+}
+
+// NewMeter returns a meter with the given constants.
+func NewMeter(params Params) *Meter { return &Meter{params: params} }
+
+// EnergyJoules integrates the power over a frequency trace sampled at a
+// fixed period. Frequencies are in GHz (the trace convention).
+func (m *Meter) EnergyJoules(tr *trace.Series, period sim.Time) float64 {
+	var j float64
+	for _, s := range tr.Samples {
+		j += m.params.Watts(sim.Freq(s.Value*10+0.5)) * period.Seconds()
+	}
+	return j
+}
+
+// Overhead returns the relative energy increase of `with` over `without`,
+// e.g. 0.07 for the paper's ≈7 % figure.
+func Overhead(withJ, withoutJ float64) float64 {
+	if withoutJ == 0 {
+		return 0
+	}
+	return withJ/withoutJ - 1
+}

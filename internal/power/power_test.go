@@ -1,0 +1,53 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestWattsCubicScaling(t *testing.T) {
+	p := Default()
+	max := p.Watts(24)
+	half := p.Watts(12)
+	// At half frequency the uncore term is 1/8 of its maximum.
+	wantHalf := p.BaseWatts + p.UncoreMaxWatts/8
+	if math.Abs(half-wantHalf) > 1e-9 {
+		t.Errorf("Watts(1.2GHz) = %v, want %v", half, wantHalf)
+	}
+	if max != p.BaseWatts+p.UncoreMaxWatts {
+		t.Errorf("Watts(max) = %v", max)
+	}
+	// Monotone in frequency.
+	for f := sim.Freq(12); f < 24; f++ {
+		if p.Watts(f) >= p.Watts(f+1) {
+			t.Errorf("power not increasing at %v", f)
+		}
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	p := Default()
+	m := NewMeter(p)
+	tr := &trace.Series{}
+	// One second at 2.4 GHz, sampled every millisecond.
+	for i := 0; i < 1000; i++ {
+		tr.Add(sim.Time(i)*sim.Millisecond, 2.4)
+	}
+	j := m.EnergyJoules(tr, sim.Millisecond)
+	want := p.Watts(24) * 1.0
+	if math.Abs(j-want) > 0.01*want {
+		t.Errorf("energy = %v J, want %v", j, want)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(107, 100); math.Abs(got-0.07) > 1e-9 {
+		t.Errorf("Overhead = %v, want 0.07", got)
+	}
+	if Overhead(1, 0) != 0 {
+		t.Error("degenerate overhead not 0")
+	}
+}

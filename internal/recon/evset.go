@@ -1,0 +1,145 @@
+package recon
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/system"
+)
+
+// Eviction-set construction by timing: the second reconnaissance
+// primitive the LLC channels presuppose. The attacker controls the low
+// address bits of its own buffer (so candidates share the target's L2 set
+// and architectural LLC set bits) but not the slice hash; it must find,
+// purely by timing, which candidates actually collide with the target in
+// the same physical slice and set.
+//
+// The test primitive parks the target in the LLC, streams a candidate set
+// through the LLC (each candidate pushed out of the private L2 so it
+// reaches the shared level), and then times the target: a DRAM-latency
+// reload means the set evicted it. A greedy reduction then shrinks a
+// working set to a minimal one.
+//
+// Under the randomized-indexing defence the same procedure fails to find
+// any evicting subset — the candidates' physical sets no longer follow
+// the architectural bits — which is exactly why the paper's Table 3 marks
+// the set-conflict channels broken there while SPP survives.
+
+// evictionProbe runs the construction inside the simulated machine.
+type evictionProbe struct {
+	geom cache.Geometry
+
+	// requests are executed one per quantum step; results are written
+	// back by the workload.
+	test    func(ctx *system.Ctx) bool
+	result  chan bool
+	pending bool
+}
+
+func (p *evictionProbe) Step(ctx *system.Ctx) system.Activity {
+	if p.pending {
+		p.pending = false
+		p.result <- p.test(ctx)
+	}
+	rest := ctx.CoreFreq().CyclesIn(ctx.Remaining())
+	return system.Activity{Active: true, Cycles: rest}
+}
+
+// parkAndSpill loads a line and walks an L2-set filler so it lands in
+// the LLC. The filler lines keep the line's L2 set but flip the extra
+// LLC-index bit (an odd multiple of the L2 set count), so they land in
+// the sibling LLC set and never pollute the set under test.
+func parkAndSpill(ctx *system.Ctx, geom cache.Geometry, line cache.Line) {
+	ctx.Access(line)
+	base := line &^ cache.Line(2*geom.L2Sets-1)
+	low := line & cache.Line(geom.L2Sets-1)
+	for k := 0; k <= geom.L2Ways+4; k++ {
+		ctx.Access(base + cache.Line((2*k+1)*geom.L2Sets) + low)
+	}
+}
+
+// evicts reports whether streaming set through the LLC evicts target.
+func evicts(ctx *system.Ctx, geom cache.Geometry, target cache.Line, set []cache.Line) bool {
+	parkAndSpill(ctx, geom, target)
+	for _, c := range set {
+		parkAndSpill(ctx, geom, c)
+	}
+	return ctx.TimedAccess(target) > 200
+}
+
+// BuildEvictionSet finds a minimal set of lines (from an
+// attacker-generated candidate pool sharing target's architectural set
+// bits) that evicts target from the LLC, using timing only. It returns an
+// error when no evicting subset exists — the randomized-indexing outcome.
+//
+// The machine should be otherwise quiet; the probe runs on the given
+// socket and core. poolSize bounds the candidate pool (the LLC
+// associativity times the slice count, with slack, is enough by the
+// pigeonhole argument of §3.1).
+func BuildEvictionSet(m *system.Machine, socket, core int, target cache.Line, poolSize int) ([]cache.Line, error) {
+	s := m.Socket(socket)
+	geom := s.Hier.Geometry()
+	if poolSize <= 0 {
+		poolSize = geom.Slices*geom.LLCWays + 3*geom.Slices
+	}
+
+	// Candidates share the target's LLC-set-index bits; strides avoid
+	// reusing the park fillers' address pattern.
+	pool := make([]cache.Line, 0, poolSize)
+	for k := 1; len(pool) < poolSize; k++ {
+		pool = append(pool, target+cache.Line(k*geom.LLCSets)*4099)
+	}
+
+	probe := &evictionProbe{geom: geom, result: make(chan bool, 1)}
+	th := m.Spawn(fmt.Sprintf("evset-probe@%v", m.Now()), socket, core, 0, probe)
+	defer th.Stop()
+
+	runTest := func(set []cache.Line) bool {
+		probe.test = func(ctx *system.Ctx) bool { return evicts(ctx, geom, target, set) }
+		probe.pending = true
+		for {
+			m.Run(m.Config().Quantum)
+			select {
+			case r := <-probe.result:
+				return r
+			default:
+			}
+		}
+	}
+
+	if !runTest(pool) {
+		return nil, fmt.Errorf("recon: candidate pool of %d lines does not evict the target (randomized indexing?)", poolSize)
+	}
+
+	// Greedy group-testing reduction: drop chunks whose removal keeps
+	// the set evicting.
+	work := pool
+	for len(work) > geom.LLCWays {
+		chunk := len(work) / (geom.LLCWays + 1)
+		if chunk < 1 {
+			chunk = 1
+		}
+		reduced := false
+		for start := 0; start < len(work); start += chunk {
+			end := start + chunk
+			if end > len(work) {
+				end = len(work)
+			}
+			trial := make([]cache.Line, 0, len(work)-(end-start))
+			trial = append(trial, work[:start]...)
+			trial = append(trial, work[end:]...)
+			if len(trial) > 0 && runTest(trial) {
+				work = trial
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+	if !runTest(work) {
+		return nil, fmt.Errorf("recon: reduction lost the eviction property")
+	}
+	return work, nil
+}

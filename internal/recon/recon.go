@@ -1,0 +1,160 @@
+// Package recon implements the unprivileged reconnaissance step the
+// paper's attacks presuppose: an attacker "cannot access the physical
+// address of a given virtual address, [and] may not directly know the LLC
+// slice a virtual address is mapped to. However, the user can infer this
+// mapping indirectly using timing information, as access latencies (from
+// a specific core) may vary across different LLC slices" (§2.1).
+//
+// The discovery procedure measures a line's LLC-hit latency from several
+// cores; each measurement implies a mesh hop distance, and the vector of
+// distances identifies the home tile uniquely on the die grid. The
+// attacker first pins the uncore frequency with its own keeper thread
+// (heavy far-slice traffic holds it at the maximum, §3.1), so latency
+// differences reflect distance rather than UFS.
+package recon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// proberState collects latency samples of one line from one core.
+type proberState struct {
+	target  cache.Line
+	filler  []cache.Line
+	samples []float64
+	limit   int
+	pos     int
+}
+
+// Step implements system.Workload: it keeps the target line bouncing
+// between the prober's L2 and the LLC (walking a same-L2-set filler list
+// evicts it) and times the LLC-served reloads.
+func (p *proberState) Step(ctx *system.Ctx) system.Activity {
+	for len(p.samples) < p.limit && ctx.Remaining() > 0 {
+		lat := ctx.TimedAccess(p.target)
+		// Only LLC-served samples carry the hop signal; L1/L2 hits
+		// (short) and cold misses (long) are discarded.
+		if lat > 40 && lat < 150 {
+			p.samples = append(p.samples, lat)
+		}
+		// Push the target back out to the LLC.
+		for i := 0; i < len(p.filler); i++ {
+			ctx.Access(p.filler[p.pos])
+			p.pos = (p.pos + 1) % len(p.filler)
+		}
+	}
+	rest := ctx.CoreFreq().CyclesIn(ctx.Remaining())
+	return system.Activity{Active: true, Cycles: rest}
+}
+
+// sameL2SetFiller returns lines sharing the target's L2 set (pure address
+// arithmetic — L2 set bits are untranslated page-offset-adjacent bits the
+// attacker controls).
+func sameL2SetFiller(geom cache.Geometry, target cache.Line, n int) []cache.Line {
+	out := make([]cache.Line, 0, n)
+	for k := 1; len(out) < n; k++ {
+		out = append(out, target+cache.Line(k*geom.L2Sets))
+	}
+	return out
+}
+
+// Profile measures the mean LLC latency of line from every core of the
+// socket, returning one value per core ID. samplesPerCore sets the
+// precision. The machine must be otherwise quiet; Profile spawns (and
+// stops) its own frequency keeper.
+func Profile(m *system.Machine, socket int, line cache.Line, samplesPerCore int) ([]float64, error) {
+	s := m.Socket(socket)
+	die := s.Die
+	if samplesPerCore <= 0 {
+		samplesPerCore = 200
+	}
+
+	// Keeper: hold the uncore at the maximum so latency reflects
+	// distance, not frequency.
+	kslice, ok := die.SliceAtHops(die.NumCores()-1, 3)
+	if !ok {
+		kslice, _ = die.SliceAtHops(die.NumCores()-1, 2)
+	}
+	keeper := m.Spawn("recon-keeper", socket, die.NumCores()-1, 0, &workload.Traffic{Slice: kslice})
+	m.Run(150 * sim.Millisecond) // let the keeper pin the frequency
+
+	geom := s.Hier.Geometry()
+	means := make([]float64, die.NumCores())
+	for core := 0; core < die.NumCores()-1; core++ {
+		p := &proberState{
+			target: line,
+			filler: sameL2SetFiller(geom, line, geom.L2Ways+4),
+			limit:  samplesPerCore,
+		}
+		th := m.Spawn(fmt.Sprintf("recon-probe-%d@%v", core, m.Now()), socket, core, 0, p)
+		for len(p.samples) < samplesPerCore {
+			m.Run(5 * sim.Millisecond)
+		}
+		th.Stop()
+		var sum float64
+		for _, v := range p.samples {
+			sum += v
+		}
+		means[core] = sum / float64(len(p.samples))
+	}
+	keeper.Stop()
+	// The keeper's own core cannot probe; mark it unknown.
+	means[die.NumCores()-1] = math.NaN()
+	return means, nil
+}
+
+// DiscoverSlice returns the most likely home slice of line given its
+// per-core latency profile: the slice whose hop-distance vector best
+// explains the latencies (least squares against an affine latency model
+// fitted per candidate).
+func DiscoverSlice(die *topo.Die, profile []float64) int {
+	best, bestErr := 0, math.Inf(1)
+	for slice := 0; slice < die.NumSlices(); slice++ {
+		st := die.SliceCoord(slice)
+		// Fit latency ≈ a + b·hops by least squares over the probed
+		// cores, then score the residual.
+		var n, sx, sy, sxx, sxy float64
+		for core := 0; core < die.NumCores(); core++ {
+			if math.IsNaN(profile[core]) {
+				continue
+			}
+			h := float64(die.CoreCoord(core).Hops(st))
+			n++
+			sx += h
+			sy += profile[core]
+			sxx += h * h
+			sxy += h * profile[core]
+		}
+		denom := n*sxx - sx*sx
+		if denom == 0 {
+			continue
+		}
+		b := (n*sxy - sx*sy) / denom
+		a := (sy - b*sx) / n
+		if b <= 0 {
+			// Farther slices must be slower; a non-positive slope
+			// means the candidate cannot explain the profile.
+			continue
+		}
+		var resid float64
+		for core := 0; core < die.NumCores(); core++ {
+			if math.IsNaN(profile[core]) {
+				continue
+			}
+			h := float64(die.CoreCoord(core).Hops(st))
+			d := profile[core] - (a + b*h)
+			resid += d * d
+		}
+		if resid < bestErr {
+			best, bestErr = slice, resid
+		}
+	}
+	return best
+}

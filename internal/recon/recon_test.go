@@ -1,0 +1,88 @@
+package recon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/system"
+)
+
+func newMachine(seed uint64) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+func TestDiscoverSliceFromSyntheticProfile(t *testing.T) {
+	// A noise-free profile generated from the latency model must point
+	// at the right slice for every slice.
+	m := newMachine(1)
+	die := m.Socket(0).Die
+	tp := m.Config().Timing
+	for slice := 0; slice < die.NumSlices(); slice++ {
+		profile := make([]float64, die.NumCores())
+		for core := 0; core < die.NumCores(); core++ {
+			h := die.CoreCoord(core).Hops(die.SliceCoord(slice))
+			profile[core] = tp.LLCMeanCycles(m.Config().CoreFreq, 24, h, 0)
+		}
+		profile[die.NumCores()-1] = math.NaN() // keeper core not probed
+		if got := DiscoverSlice(die, profile); got != slice {
+			t.Errorf("slice %d recovered as %d", slice, got)
+		}
+	}
+}
+
+func TestProfileAndDiscoverEndToEnd(t *testing.T) {
+	// The full unprivileged workflow: pick lines, time them from every
+	// core, and recover their home slices — §2.1's indirect inference.
+	m := newMachine(2)
+	s := m.Socket(0)
+	correct, total := 0, 0
+	for i := 0; i < 4; i++ {
+		line := cache.Line(1<<22 + i*8191)
+		truth := s.Hier.SliceOf(0, line)
+		profile, err := Profile(m, 0, line, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DiscoverSlice(s.Die, profile); got == truth {
+			correct++
+		}
+		total++
+	}
+	if correct < total-1 {
+		t.Errorf("recovered %d/%d slices by timing", correct, total)
+	}
+}
+
+func TestProfileShapeSane(t *testing.T) {
+	m := newMachine(3)
+	line := cache.Line(1 << 23)
+	profile, err := Profile(m, 0, line, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	die := m.Socket(0).Die
+	if len(profile) != die.NumCores() {
+		t.Fatalf("profile has %d entries", len(profile))
+	}
+	if !math.IsNaN(profile[die.NumCores()-1]) {
+		t.Error("keeper core has a latency entry")
+	}
+	// The core co-located with the home slice must be among the
+	// fastest observers.
+	truth := m.Socket(0).Hier.SliceOf(0, line)
+	home := die.CoreIDAt(die.SliceCoord(truth))
+	if home >= 0 && home < die.NumCores()-1 {
+		faster := 0
+		for c, v := range profile {
+			if c != home && !math.IsNaN(v) && v < profile[home]-1 {
+				faster++
+			}
+		}
+		if faster > 3 {
+			t.Errorf("%d cores read clearly faster than the home core", faster)
+		}
+	}
+}

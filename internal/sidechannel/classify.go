@@ -1,0 +1,100 @@
+package sidechannel
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// FeatureLen is the dimensionality frequency traces are resampled to
+// before classification.
+const FeatureLen = 256
+
+// Features converts a frequency trace into a fixed-length feature vector.
+func Features(values []float64) []float64 {
+	return stats.Resample(values, FeatureLen)
+}
+
+// KNN is a k-nearest-neighbour classifier over trace features. The paper
+// trains an RNN (§5); with the standard library only, a kNN over
+// resampled traces demonstrates the same property — per-site frequency
+// traces are separable — and reaches comparable accuracy.
+type KNN struct {
+	// K is the neighbourhood size.
+	K int
+
+	labels   []string
+	features [][]float64
+}
+
+// NewKNN returns a classifier with neighbourhood size k.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 3
+	}
+	return &KNN{K: k}
+}
+
+// Train adds one labelled trace.
+func (c *KNN) Train(label string, values []float64) {
+	c.labels = append(c.labels, label)
+	c.features = append(c.features, Features(values))
+}
+
+// Samples returns the number of training traces.
+func (c *KNN) Samples() int { return len(c.labels) }
+
+// Predict returns candidate labels ordered from most to least likely.
+func (c *KNN) Predict(values []float64) []string {
+	f := Features(values)
+	type nb struct {
+		label string
+		dist  float64
+	}
+	nbs := make([]nb, len(c.features))
+	for i, tf := range c.features {
+		nbs[i] = nb{label: c.labels[i], dist: stats.Euclidean(f, tf)}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].dist < nbs[j].dist })
+
+	// Vote among the K nearest, breaking ties by closest distance;
+	// remaining labels follow in first-appearance order for top-k
+	// metrics.
+	votes := map[string]int{}
+	closest := map[string]float64{}
+	limit := c.K
+	if limit > len(nbs) {
+		limit = len(nbs)
+	}
+	for _, n := range nbs[:limit] {
+		votes[n.label]++
+		if _, ok := closest[n.label]; !ok {
+			closest[n.label] = n.dist
+		}
+	}
+	var order []string
+	seen := map[string]bool{}
+	for _, n := range nbs {
+		if !seen[n.label] {
+			seen[n.label] = true
+			order = append(order, n.label)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		vi, vj := votes[order[i]], votes[order[j]]
+		if vi != vj {
+			return vi > vj
+		}
+		di, iok := closest[order[i]]
+		dj, jok := closest[order[j]]
+		switch {
+		case iok && jok:
+			return di < dj
+		case iok:
+			return true
+		default:
+			return false
+		}
+	})
+	return order
+}

@@ -1,0 +1,93 @@
+package sidechannel
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// lowFreqGHz is the trace level below which the victim is considered
+// active: with the victim's cores running, less than a quarter of the
+// active cores are stalled and the uncore falls to the idle point.
+const lowFreqGHz = 2.0
+
+// CompressionTrace runs the Figure 11 scenario: the victim compresses a
+// file of sizeKB kilobytes starting at startAt, while the attacker traces
+// the uncore frequency for total virtual time. It returns the trace.
+//
+// The victim is modelled as the compressor plus its runtime's helper
+// thread (interpreter I/O and allocation run alongside the compression
+// loop), so during the job two victim cores are active and the attacker's
+// stalled fraction falls below a quarter.
+func CompressionTrace(m *system.Machine, sizeKB int, startAt, total sim.Time) (*trace.Series, error) {
+	a, err := Deploy(m, 0, 0, 1, 3*sim.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	job := &workload.Compression{Start: m.Now() + startAt, SizeKB: sizeKB}
+	helper := &workload.Compression{Start: m.Now() + startAt, SizeKB: sizeKB}
+	v1 := m.Spawn("victim-compress", 0, 4, 0, job)
+	v2 := m.Spawn("victim-runtime", 0, 5, 0, helper)
+	m.Run(total)
+	a.Stop()
+	v1.Stop()
+	v2.Stop()
+	return a.Trace, nil
+}
+
+// DwellTime returns how long the trace sat below the active threshold —
+// the attacker's estimate of the victim's execution time.
+func DwellTime(tr *trace.Series, period sim.Time) sim.Time {
+	n := 0
+	for _, s := range tr.Samples {
+		if s.Value < lowFreqGHz {
+			n++
+		}
+	}
+	return sim.Time(n) * period
+}
+
+// DwellModel is the attacker's calibrated linear map from observed
+// low-frequency dwell time to file size: dwell ≈ A + B·sizeKB. The
+// offset A absorbs both the job's fixed startup cost and the governor's
+// ramp/decay slop around the activity window.
+type DwellModel struct {
+	A float64 // milliseconds
+	B float64 // milliseconds per KB
+}
+
+// FitDwell calibrates the model from two reference jobs of known size —
+// the training step a real §5 attacker performs.
+func FitDwell(size1 int, dwell1 sim.Time, size2 int, dwell2 sim.Time) DwellModel {
+	b := (dwell2.Milliseconds() - dwell1.Milliseconds()) / float64(size2-size1)
+	return DwellModel{
+		A: dwell1.Milliseconds() - b*float64(size1),
+		B: b,
+	}
+}
+
+// SizeKB estimates a file size from an observed dwell time.
+func (dm DwellModel) SizeKB(dwell sim.Time) int {
+	if dm.B == 0 {
+		return 0
+	}
+	return int(math.Round((dwell.Milliseconds() - dm.A) / dm.B))
+}
+
+// ClassifySize snaps a size estimate to the nearest candidate.
+func ClassifySize(estimateKB int, candidates []int) int {
+	best, bestDiff := 0, math.MaxInt
+	for _, c := range candidates {
+		d := c - estimateKB
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = c, d
+		}
+	}
+	return best
+}

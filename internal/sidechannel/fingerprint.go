@@ -1,0 +1,113 @@
+package sidechannel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// VisitDuration is how long each website visit is traced (Figure 12 shows
+// 5-second traces).
+const VisitDuration = 5 * sim.Second
+
+// Sites returns the fingerprinting corpus: n synthetic website identities
+// with stable activity signatures. A few well-known names lead the list so
+// example traces read like Figure 12.
+func Sites(n int) []string {
+	named := []string{
+		"amazon.com", "google.com",
+		"hotcrp.com/login-ok", "hotcrp.com/login-fail",
+	}
+	out := make([]string, 0, n)
+	out = append(out, named[:min(len(named), n)]...)
+	for i := len(out); i < n; i++ {
+		out = append(out, fmt.Sprintf("site-%03d.example", i))
+	}
+	return out
+}
+
+// VisitTrace simulates one victim visit to site (visit selects the
+// per-visit jitter) observed by the attacker, returning the 3 ms-sampled
+// frequency trace values.
+func VisitTrace(newMachine func() *system.Machine, site string, visit int) ([]float64, error) {
+	m := newMachine()
+	a, err := Deploy(m, 0, 0, 1, 3*sim.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	start := m.Now() + 50*sim.Millisecond
+	w0, w1 := workload.NewBrowseVisit(site, visit, start, VisitDuration-200*sim.Millisecond)
+	v0 := m.Spawn("victim-browser-0", 0, 4, 0, w0)
+	v1 := m.Spawn("victim-browser-1", 0, 5, 0, w1)
+	m.Run(VisitDuration)
+	a.Stop()
+	v0.Stop()
+	v1.Stop()
+	return a.Trace.Values(), nil
+}
+
+// FingerprintReport is the outcome of a train/attack evaluation (§5).
+type FingerprintReport struct {
+	Sites, TrainPerSite, TestPerSite int
+	Top1, Top5                       float64
+	// Confusion records which sites the attacker mistook for which.
+	Confusion *stats.Confusion
+}
+
+// Fingerprint runs the full §5 website-fingerprinting evaluation:
+// trainPerSite visits per site train the classifier, testPerSite further
+// visits are attacked, and top-1/top-5 accuracies are reported.
+func Fingerprint(newMachine func() *system.Machine, sites []string, trainPerSite, testPerSite int) (FingerprintReport, error) {
+	knn := NewKNN(3)
+	for _, site := range sites {
+		for v := 0; v < trainPerSite; v++ {
+			tr, err := VisitTrace(newMachine, site, v)
+			if err != nil {
+				return FingerprintReport{}, err
+			}
+			knn.Train(site, tr)
+		}
+	}
+	confusion := stats.NewConfusion(sites)
+	var top1, top5, total int
+	for _, site := range sites {
+		for v := 0; v < testPerSite; v++ {
+			tr, err := VisitTrace(newMachine, site, trainPerSite+v)
+			if err != nil {
+				return FingerprintReport{}, err
+			}
+			pred := knn.Predict(tr)
+			confusion.Add(site, pred[0])
+			total++
+			for i, p := range pred {
+				if p == site {
+					if i == 0 {
+						top1++
+					}
+					if i < 5 {
+						top5++
+					}
+					break
+				}
+			}
+		}
+	}
+	return FingerprintReport{
+		Sites:        len(sites),
+		TrainPerSite: trainPerSite,
+		TestPerSite:  testPerSite,
+		Top1:         float64(top1) / float64(total),
+		Top5:         float64(top5) / float64(total),
+		Confusion:    confusion,
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package sidechannel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func newMachine(seed uint64) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+func TestProbeTracksGovernor(t *testing.T) {
+	m := newMachine(1)
+	a, err := Deploy(m, 0, 0, 1, 3*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker alone: 1 of 2 active cores stalled → uncore pinned at
+	// the maximum; probe must read ≈2.4 GHz once settled.
+	m.Run(400 * sim.Millisecond)
+	a.Stop()
+	vals := a.Trace.Values()
+	if len(vals) < 100 {
+		t.Fatalf("only %d probe samples", len(vals))
+	}
+	tail := vals[len(vals)-30:]
+	for _, v := range tail {
+		if math.Abs(v-2.4) > 0.11 {
+			t.Fatalf("settled probe estimate %.1f GHz, want ≈2.4", v)
+		}
+	}
+}
+
+func TestCompressionDwellScalesWithSize(t *testing.T) {
+	dwell := func(sizeKB int) sim.Time {
+		m := newMachine(2)
+		tr, err := CompressionTrace(m, sizeKB, 100*sim.Millisecond, 1200*sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DwellTime(tr, 3*sim.Millisecond)
+	}
+	d1, d3 := dwell(1024), dwell(3072)
+	if d1 <= 0 {
+		t.Fatal("no low-frequency dwell observed for 1MB job")
+	}
+	if d3 <= d1 {
+		t.Fatalf("dwell not increasing: 1MB=%v 3MB=%v", d1, d3)
+	}
+	// The slope should match the victim model: ≈140 ms per MB.
+	perMB := (d3 - d1).Milliseconds() / 2
+	if perMB < 110 || perMB > 170 {
+		t.Errorf("dwell slope %.0f ms/MB, want ≈140", perMB)
+	}
+}
+
+func TestDwellModelRoundTrip(t *testing.T) {
+	m := FitDwell(1000, 250*sim.Millisecond, 5000, 810*sim.Millisecond)
+	for _, size := range []int{1000, 2000, 3000, 5000} {
+		dwell := sim.Time(m.A+m.B*float64(size)) * sim.Millisecond
+		if got := m.SizeKB(dwell); math.Abs(float64(got-size)) > 1 {
+			t.Errorf("SizeKB(dwell(%d)) = %d", size, got)
+		}
+	}
+	if (DwellModel{}).SizeKB(sim.Second) != 0 {
+		t.Error("degenerate model should return 0")
+	}
+}
+
+func TestClassifySize(t *testing.T) {
+	cands := []int{600, 900, 1200}
+	if got := ClassifySize(950, cands); got != 900 {
+		t.Errorf("ClassifySize(950) = %d", got)
+	}
+	if got := ClassifySize(100, cands); got != 600 {
+		t.Errorf("ClassifySize(100) = %d", got)
+	}
+}
+
+func TestKNNBasics(t *testing.T) {
+	c := NewKNN(3)
+	mk := func(level float64) []float64 {
+		v := make([]float64, 64)
+		for i := range v {
+			v[i] = level
+		}
+		return v
+	}
+	for i := 0; i < 3; i++ {
+		c.Train("low", mk(1.5))
+		c.Train("high", mk(2.4))
+	}
+	if c.Samples() != 6 {
+		t.Fatalf("Samples() = %d", c.Samples())
+	}
+	if pred := c.Predict(mk(1.6)); pred[0] != "low" {
+		t.Errorf("Predict(low-ish) = %v", pred)
+	}
+	if pred := c.Predict(mk(2.3)); pred[0] != "high" {
+		t.Errorf("Predict(high-ish) = %v", pred)
+	}
+}
+
+func TestSitesCorpus(t *testing.T) {
+	s := Sites(100)
+	if len(s) != 100 {
+		t.Fatalf("Sites(100) = %d entries", len(s))
+	}
+	seen := map[string]bool{}
+	for _, site := range s {
+		if seen[site] {
+			t.Fatalf("duplicate site %q", site)
+		}
+		seen[site] = true
+	}
+	if s[0] != "amazon.com" {
+		t.Errorf("first site = %q", s[0])
+	}
+	if got := Sites(2); len(got) != 2 {
+		t.Errorf("Sites(2) = %v", got)
+	}
+}
+
+func TestFingerprintSmallCorpus(t *testing.T) {
+	seed := uint64(100)
+	mk := func() *system.Machine {
+		seed++
+		return newMachine(seed)
+	}
+	rep, err := Fingerprint(mk, Sites(6), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Top1 < 0.8 {
+		t.Errorf("top-1 accuracy %.2f on a 6-site corpus, want ≥0.8", rep.Top1)
+	}
+	if rep.Top5 < rep.Top1 {
+		t.Error("top-5 below top-1")
+	}
+}
+
+func TestVisitTraceDeterministic(t *testing.T) {
+	mk := func() *system.Machine { return newMachine(7) }
+	a, err := VisitTrace(mk, "amazon.com", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VisitTrace(mk, "amazon.com", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, same visit: traces diverge at %d", i)
+		}
+	}
+	c, err := VisitTrace(mk, "amazon.com", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if i < len(c) && a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different visits produced identical traces (no jitter)")
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ticker is a periodic callback registered with an Engine. Fn is invoked
+// with the virtual time of the tick; ticks are strictly ordered, and tickers
+// that collide on the same instant fire in registration order (after
+// sorting by priority).
+type Ticker struct {
+	// Name identifies the ticker in diagnostics.
+	Name string
+	// Period is the spacing of ticks; it must be positive.
+	Period Time
+	// Phase delays the first tick after the engine start.
+	Phase Time
+	// Priority orders tickers that fire at the same instant; lower runs
+	// first. Workload quanta run before governor epochs so that an epoch
+	// decision sees the activity of the quanta that precede it.
+	Priority int
+	// Fn is the tick body. now is the tick instant.
+	Fn func(now Time)
+
+	next Time
+}
+
+// Engine drives virtual time forward through a set of periodic tickers.
+// It is intentionally minimal: the simulator has a small, fixed set of
+// rates (workload quantum, governor epoch, trace samplers), so a full event
+// queue would be overkill and harder to keep deterministic.
+type Engine struct {
+	now     Time
+	tickers []*Ticker
+}
+
+// NewEngine returns an engine positioned at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Add registers a ticker. It panics on a non-positive period, because a
+// zero-period ticker would stall virtual time.
+func (e *Engine) Add(t *Ticker) {
+	if t.Period <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q has non-positive period %v", t.Name, t.Period))
+	}
+	t.next = e.now + t.Phase + t.Period
+	e.tickers = append(e.tickers, t)
+	sort.SliceStable(e.tickers, func(i, j int) bool {
+		return e.tickers[i].Priority < e.tickers[j].Priority
+	})
+}
+
+// Run advances virtual time by d, firing every tick that falls in the
+// window (start, start+d]. Ticks at the same instant fire in priority
+// order.
+func (e *Engine) Run(d Time) {
+	if d < 0 {
+		panic("sim: cannot run the engine backwards")
+	}
+	end := e.now + d
+	for {
+		// Find the earliest pending tick within the window.
+		var nxt *Ticker
+		for _, t := range e.tickers {
+			if t.next > end {
+				continue
+			}
+			if nxt == nil || t.next < nxt.next {
+				nxt = t
+			}
+		}
+		if nxt == nil {
+			break
+		}
+		at := nxt.next
+		e.now = at
+		// Fire every ticker scheduled for this instant, in priority
+		// order (tickers are kept priority-sorted).
+		for _, t := range e.tickers {
+			if t.next == at {
+				t.Fn(at)
+				t.next = at + t.Period
+			}
+		}
+	}
+	e.now = end
+}

@@ -1,0 +1,115 @@
+// Package sim provides the deterministic simulation substrate used by every
+// other package in this repository: a virtual time base, a seeded
+// pseudo-random number source, and a small multi-rate tick engine.
+//
+// All simulated behaviour is a pure function of the configuration and the
+// seed; there is no dependency on the wall clock, so every experiment in the
+// paper reproduction regenerates bit-identically.
+package sim
+
+import "fmt"
+
+// Time is a point in (or span of) virtual time, in picoseconds.
+//
+// Picosecond resolution is needed because a single core cycle at 2.6 GHz is
+// ~385 ps; an int64 of picoseconds still spans over 100 days of virtual
+// time, far beyond any experiment in this repository.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Milliseconds returns t expressed in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns t expressed in microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanoseconds returns t expressed in nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "38ms" or "1.5us".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", int64(t/Second))
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%gms", t.Milliseconds())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%gus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%gns", t.Nanoseconds())
+	}
+}
+
+// Freq is a clock frequency in units of 100 MHz, matching the granularity of
+// Intel P-states and uncore operating points (the paper's §2.2 and §3.3).
+// For example, Freq(24) is 2.4 GHz.
+type Freq int
+
+// Frequencies that recur throughout the paper's evaluation platform
+// (Table 1).
+const (
+	// UncoreMinDefault is the default minimum uncore frequency (1.2 GHz).
+	UncoreMinDefault Freq = 12
+	// UncoreIdleHigh is the upper idle operating point; with no uncore
+	// demand the frequency dithers between this and one step below
+	// (§3.1: "it alternates between 1.4 GHz and 1.5 GHz").
+	UncoreIdleHigh Freq = 15
+	// UncoreMaxDefault is the default maximum uncore frequency (2.4 GHz).
+	UncoreMaxDefault Freq = 24
+	// CoreBase is the core base frequency of the Xeon Gold 6142 (2.6 GHz).
+	CoreBase Freq = 26
+)
+
+// FreqStep is one uncore/core operating-point increment (100 MHz).
+const FreqStep Freq = 1
+
+// GHz returns the frequency in GHz.
+func (f Freq) GHz() float64 { return float64(f) / 10 }
+
+// String formats the frequency in GHz, e.g. "2.4GHz".
+func (f Freq) String() string { return fmt.Sprintf("%gGHz", f.GHz()) }
+
+// CycleTime returns the duration of one clock cycle at f.
+func (f Freq) CycleTime() Time {
+	if f <= 0 {
+		panic("sim: non-positive frequency has no cycle time")
+	}
+	return Time(float64(Second) / (f.GHz() * 1e9))
+}
+
+// CyclesIn returns how many cycles at frequency f elapse during d.
+func (f Freq) CyclesIn(d Time) float64 {
+	return d.Seconds() * f.GHz() * 1e9
+}
+
+// TimeFor returns the duration of n cycles at frequency f.
+func (f Freq) TimeFor(cycles float64) Time {
+	if f <= 0 {
+		panic("sim: non-positive frequency cannot run cycles")
+	}
+	return Time(cycles / (f.GHz() * 1e9) * float64(Second))
+}
+
+// Clamp limits f to [lo, hi].
+func (f Freq) Clamp(lo, hi Freq) Freq {
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}

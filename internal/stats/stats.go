@@ -1,0 +1,219 @@
+// Package stats provides the summary statistics the paper's evaluation
+// uses: medians and percentiles for latency distributions (Figure 8),
+// binary entropy and channel capacity (§4.3.2), and trace resampling for
+// the fingerprinting classifier (§5).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs; it returns 0 for an empty slice.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by linear
+// interpolation, or 0 for an empty slice. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary is a five-number latency summary matching Figure 8's box plots.
+type Summary struct {
+	P1, P25, Median, P75, P99, Mean float64
+	N                               int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		P1:     Percentile(xs, 1),
+		P25:    Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		P75:    Percentile(xs, 75),
+		P99:    Percentile(xs, 99),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// BinaryEntropy returns H(e) = −e·log2(e) − (1−e)·log2(1−e), the binary
+// entropy function used in the channel-capacity metric of §4.3.2.
+func BinaryEntropy(e float64) float64 {
+	if e <= 0 || e >= 1 {
+		return 0
+	}
+	return -e*math.Log2(e) - (1-e)*math.Log2(1-e)
+}
+
+// Capacity returns the channel capacity in bit/s for a raw transmission
+// rate (bit/s) and bit error rate e: rate × (1 − H(e)), as in §4.3.2.
+// Error rates above one half are clamped: a binary channel with e > 0.5
+// carries the same information as its complement.
+func Capacity(rate, e float64) float64 {
+	if e > 0.5 {
+		e = 1 - e
+	}
+	return rate * (1 - BinaryEntropy(e))
+}
+
+// ErrorRate compares two bit strings and returns the fraction that differ.
+// It panics on length mismatch: the protocols in this repository are
+// synchronous and never lose framing.
+func ErrorRate(sent, got []int) float64 {
+	if len(sent) != len(got) {
+		panic("stats: bit string length mismatch")
+	}
+	if len(sent) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range sent {
+		if sent[i] != got[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(sent))
+}
+
+// Resample linearly resamples xs to n points; it is used to normalise
+// frequency traces before classification. An empty input yields zeros.
+func Resample(xs []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(xs) == 0 || n == 0 {
+		return out
+	}
+	if len(xs) == 1 {
+		for i := range out {
+			out[i] = xs[0]
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pos := float64(i) * float64(len(xs)-1) / float64(max(n-1, 1))
+		lo := int(math.Floor(pos))
+		frac := pos - float64(lo)
+		if lo+1 >= len(xs) {
+			out[i] = xs[len(xs)-1]
+			continue
+		}
+		out[i] = xs[lo]*(1-frac) + xs[lo+1]*frac
+	}
+	return out
+}
+
+// Euclidean returns the L2 distance between two equal-length vectors.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: vector length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Confusion is a label-level confusion matrix for the classification
+// attacks (§5): Counts[truth][predicted] accumulates test outcomes.
+type Confusion struct {
+	Labels []string
+	Counts map[string]map[string]int
+}
+
+// NewConfusion returns an empty matrix over the given labels.
+func NewConfusion(labels []string) *Confusion {
+	cp := make([]string, len(labels))
+	copy(cp, labels)
+	return &Confusion{Labels: cp, Counts: map[string]map[string]int{}}
+}
+
+// Add records one test outcome.
+func (c *Confusion) Add(truth, predicted string) {
+	row := c.Counts[truth]
+	if row == nil {
+		row = map[string]int{}
+		c.Counts[truth] = row
+	}
+	row[predicted]++
+}
+
+// Accuracy returns the diagonal fraction.
+func (c *Confusion) Accuracy() float64 {
+	total, hit := 0, 0
+	for truth, row := range c.Counts {
+		for pred, n := range row {
+			total += n
+			if pred == truth {
+				hit += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// ConfusedPair is an off-diagonal entry.
+type ConfusedPair struct {
+	Truth, Predicted string
+	Count            int
+}
+
+// MostConfused returns the top-k off-diagonal entries, most frequent
+// first — the site pairs the attacker mixes up.
+func (c *Confusion) MostConfused(k int) []ConfusedPair {
+	var pairs []ConfusedPair
+	for truth, row := range c.Counts {
+		for pred, n := range row {
+			if truth != pred && n > 0 {
+				pairs = append(pairs, ConfusedPair{truth, pred, n})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Count != pairs[j].Count {
+			return pairs[i].Count > pairs[j].Count
+		}
+		if pairs[i].Truth != pairs[j].Truth {
+			return pairs[i].Truth < pairs[j].Truth
+		}
+		return pairs[i].Predicted < pairs[j].Predicted
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Median(xs) != 3 {
+		t.Errorf("median = %v", Median(xs))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extremes wrong")
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanAndSummary(t *testing.T) {
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Median != 3 || s.Mean != 3 || s.N != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P1 > s.P25 || s.P25 > s.Median || s.Median > s.P75 || s.P75 > s.P99 {
+		t.Errorf("summary not ordered: %+v", s)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if BinaryEntropy(0.5) != 1 {
+		t.Errorf("H(0.5) = %v", BinaryEntropy(0.5))
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Error("H at extremes not 0")
+	}
+	if math.Abs(BinaryEntropy(0.11)-0.4999) > 0.01 {
+		t.Errorf("H(0.11) = %v, want ≈0.5", BinaryEntropy(0.11))
+	}
+	// Symmetry.
+	f := func(e float64) bool {
+		e = math.Mod(math.Abs(e), 1)
+		return math.Abs(BinaryEntropy(e)-BinaryEntropy(1-e)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	// §4.3.2: capacity = rate × (1 − H(e)).
+	if got := Capacity(47.6, 0); got != 47.6 {
+		t.Errorf("error-free capacity = %v", got)
+	}
+	if got := Capacity(100, 0.5); got != 0 {
+		t.Errorf("chance-level capacity = %v", got)
+	}
+	// An inverted channel carries the same information.
+	if math.Abs(Capacity(100, 0.9)-Capacity(100, 0.1)) > 1e-9 {
+		t.Error("capacity not symmetric around 0.5")
+	}
+	if Capacity(50, 0.1) >= 50 || Capacity(50, 0.1) <= 0 {
+		t.Errorf("Capacity(50, 0.1) = %v out of range", Capacity(50, 0.1))
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if ErrorRate([]int{1, 0, 1, 1}, []int{1, 1, 1, 0}) != 0.5 {
+		t.Error("error rate wrong")
+	}
+	if ErrorRate(nil, nil) != 0 {
+		t.Error("empty error rate not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	ErrorRate([]int{1}, []int{1, 0})
+}
+
+func TestResample(t *testing.T) {
+	up := Resample([]float64{0, 10}, 11)
+	if len(up) != 11 || up[0] != 0 || up[10] != 10 || math.Abs(up[5]-5) > 1e-9 {
+		t.Errorf("upsample = %v", up)
+	}
+	down := Resample([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if len(down) != 4 || down[0] != 1 || down[3] != 8 {
+		t.Errorf("downsample = %v", down)
+	}
+	if got := Resample(nil, 4); len(got) != 4 {
+		t.Error("empty input resample wrong length")
+	}
+	if got := Resample([]float64{7}, 3); got[0] != 7 || got[2] != 7 {
+		t.Errorf("singleton resample = %v", got)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if Euclidean([]float64{0, 0}, []float64{3, 4}) != 5 {
+		t.Error("distance wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion([]string{"a", "b", "c"})
+	c.Add("a", "a")
+	c.Add("a", "a")
+	c.Add("a", "b")
+	c.Add("b", "b")
+	c.Add("b", "c")
+	c.Add("b", "c")
+	if got := c.Accuracy(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.5", got)
+	}
+	top := c.MostConfused(2)
+	if len(top) != 2 || top[0].Truth != "b" || top[0].Predicted != "c" || top[0].Count != 2 {
+		t.Errorf("MostConfused = %+v", top)
+	}
+	if (&Confusion{Counts: map[string]map[string]int{}}).Accuracy() != 0 {
+		t.Error("empty accuracy not 0")
+	}
+}

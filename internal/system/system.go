@@ -1,0 +1,446 @@
+// Package system composes the substrates into the paper's evaluation
+// platform (Table 1): a dual-socket machine of two 16-core Skylake-SP
+// processors, each with private L1/L2s, a sliced non-inclusive LLC spread
+// over a mesh interconnect, an MSR file, and a UFS governor.
+//
+// Execution is quantised: every quantum (default 200 µs, the paper's trace
+// sampling period) each running thread's workload advances and reports the
+// activity it generated; every governor epoch (10 ms) the accumulated
+// activity feeds each socket's UFS decision. Fine-grained operations — the
+// receiver's timed LLC loads, clflush, transactional regions — run inside
+// the quantum through a Ctx, against the functional cache hierarchy and
+// the latency model.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mesh"
+	"repro/internal/msr"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/topo"
+	"repro/internal/ufs"
+)
+
+// Config assembles a machine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Dies lists one floorplan per socket.
+	Dies []*topo.Die
+	// Interconnect selects mesh or ring.
+	Interconnect mesh.Kind
+	// MeshParams are the interconnect model constants.
+	MeshParams mesh.Params
+	// UFS are the governor constants.
+	UFS ufs.Params
+	// Timing is the latency model.
+	Timing timing.Params
+	// Quantum is the workload stepping period.
+	Quantum sim.Time
+	// CoreFreq is the operating core frequency (powersave keeps it at
+	// base; setting it above base disables UFS, §2.2.1).
+	CoreFreq sim.Freq
+	// CoreBase is the base frequency.
+	CoreBase sim.Freq
+	// DVFS optionally enables per-core frequency scaling: with
+	// PolicyPowersave busy cores run at base and idle cores park low
+	// (the Table 1 platform); with PolicyPerformance active cores
+	// enter the turbo range, which disables UFS (§2.2.1). PolicyNone
+	// pins every core at CoreFreq.
+	DVFS cpu.DVFS
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 1 platform: two Xeon Gold 6142 sockets,
+// mesh interconnect, powersave cores at 2.6 GHz, UFS over 1.2–2.4 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Dies:         []*topo.Die{topo.XeonGold6142Socket0, topo.XeonGold6142Socket1},
+		Interconnect: mesh.KindMesh,
+		MeshParams:   mesh.DefaultParams(),
+		UFS:          ufs.DefaultParams(),
+		Timing:       timing.Default(),
+		Quantum:      200 * sim.Microsecond,
+		CoreFreq:     sim.CoreBase,
+		CoreBase:     sim.CoreBase,
+		Seed:         0x5eed,
+	}
+}
+
+// Activity is what one thread's workload did during one quantum.
+type Activity struct {
+	// Active marks the core as awake (C0) for the quantum.
+	Active bool
+	// Cycles and StallCycles feed the perf counters and the governor's
+	// stall rule.
+	Cycles, StallCycles float64
+	// LLCAccesses is the number of transactions that travelled to the
+	// LLC this quantum.
+	LLCAccesses float64
+	// Pressure is Σ accesses × DistanceWeight(hops).
+	Pressure float64
+	// PowerUnits is the quantum's draw on the socket's shared voltage
+	// regulator, in arbitrary units (1.0 ≈ a scalar compute loop).
+	// The IccCoresCovert baseline channel modulates and observes it.
+	PowerUnits float64
+}
+
+// Add accumulates o into a.
+func (a *Activity) Add(o Activity) {
+	a.Active = a.Active || o.Active
+	a.Cycles += o.Cycles
+	a.StallCycles += o.StallCycles
+	a.LLCAccesses += o.LLCAccesses
+	a.Pressure += o.Pressure
+	a.PowerUnits += o.PowerUnits
+}
+
+// Workload is a program running on a core. Step is called once per
+// quantum; the workload performs fine-grained operations through ctx
+// and/or reports aggregate activity, returning the quantum's total.
+type Workload interface {
+	Step(ctx *Ctx) Activity
+}
+
+// WorkloadFunc adapts a function to the Workload interface.
+type WorkloadFunc func(ctx *Ctx) Activity
+
+// Step implements Workload.
+func (f WorkloadFunc) Step(ctx *Ctx) Activity { return f(ctx) }
+
+// Socket is one processor package.
+type Socket struct {
+	ID    int
+	Die   *topo.Die
+	Cores []*cpu.Core
+	Hier  *cache.Hierarchy
+	Mesh  *mesh.Mesh
+	MSR   *msr.File
+	Gov   *ufs.Governor
+
+	coreCaches []*cache.CoreCaches
+
+	// Epoch accumulators consumed by the governor.
+	epochLLC      float64
+	epochPressure float64
+
+	// quantumPower is the current draw registered so far this quantum.
+	quantumPower float64
+}
+
+// QuantumPower returns the power units drawn on the socket's voltage
+// regulator so far in the current quantum. Threads that step after the
+// drawer (spawn order) observe it — the shared-PMU contention the
+// IccCoresCovert baseline exploits.
+func (s *Socket) QuantumPower() float64 { return s.quantumPower }
+
+// Uncore returns the socket's current uncore frequency.
+func (s *Socket) Uncore() sim.Freq { return s.Gov.Current() }
+
+// Machine is the whole platform.
+type Machine struct {
+	cfg     Config
+	engine  *sim.Engine
+	rng     *sim.Rand
+	sockets []*Socket
+	threads []*Thread
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if len(cfg.Dies) == 0 {
+		panic("system: machine needs at least one socket")
+	}
+	if cfg.Quantum <= 0 || cfg.UFS.Epoch <= 0 {
+		panic("system: quantum and epoch must be positive")
+	}
+	if cfg.UFS.Epoch%cfg.Quantum != 0 {
+		panic(fmt.Sprintf("system: epoch %v must be a multiple of quantum %v", cfg.UFS.Epoch, cfg.Quantum))
+	}
+	m := &Machine{
+		cfg:    cfg,
+		engine: sim.NewEngine(),
+		rng:    sim.NewRand(cfg.Seed),
+	}
+	for i, die := range cfg.Dies {
+		s := &Socket{
+			ID:   i,
+			Die:  die,
+			Hier: cache.NewHierarchy(cache.DefaultGeometry(die.NumSlices())),
+			Mesh: mesh.New(die, cfg.Interconnect, cfg.MeshParams),
+			MSR:  msr.NewFile(),
+		}
+		s.Gov = ufs.NewGovernor(cfg.UFS, s.MSR, m.rng.Split(uint64(1000+i)))
+		for c := 0; c < die.NumCores(); c++ {
+			core := cpu.NewCore(c, die.CoreCoord(c), cfg.CoreBase)
+			core.Freq = cfg.CoreFreq
+			s.Cores = append(s.Cores, core)
+			s.coreCaches = append(s.coreCaches, s.Hier.NewCore())
+		}
+		m.sockets = append(m.sockets, s)
+	}
+	// The per-quantum workload step runs before anything else at a
+	// shared instant; governors run last so an epoch decision sees all
+	// of its quanta.
+	m.engine.Add(&sim.Ticker{
+		Name:     "quantum",
+		Period:   cfg.Quantum,
+		Priority: 0,
+		Fn:       m.stepQuantum,
+	})
+	m.engine.Add(&sim.Ticker{
+		Name:     "ufs-epoch",
+		Period:   cfg.UFS.Epoch,
+		Priority: 10,
+		Fn:       m.stepEpoch,
+	})
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Engine exposes the tick engine so callers can register samplers.
+func (m *Machine) Engine() *sim.Engine { return m.engine }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() sim.Time { return m.engine.Now() }
+
+// Rand derives a labelled random stream from the machine seed.
+func (m *Machine) Rand(label uint64) *sim.Rand { return m.rng.Split(label) }
+
+// Sockets returns the machine's sockets.
+func (m *Machine) Sockets() []*Socket { return m.sockets }
+
+// Socket returns socket i.
+func (m *Machine) Socket(i int) *Socket { return m.sockets[i] }
+
+// Run advances virtual time by d.
+func (m *Machine) Run(d sim.Time) { m.engine.Run(d) }
+
+// Thread is a software thread pinned to a core.
+type Thread struct {
+	Name    string
+	Sock    *Socket
+	Core    *cpu.Core
+	Caches  *cache.CoreCaches
+	Domain  cache.Domain
+	rng     *sim.Rand
+	w       Workload
+	drift   timing.Drift
+	stopped bool
+}
+
+// SetWorkload replaces the thread's program (e.g. the nop→stalling switch
+// of Figure 5). A nil workload idles the core.
+func (t *Thread) SetWorkload(w Workload) { t.w = w }
+
+// Stop removes the thread from scheduling permanently.
+func (t *Thread) Stop() { t.stopped = true }
+
+// Spawn pins a new thread running w to the given socket and core. Threads
+// step in spawn order within a quantum; spawn traffic sources before
+// latency probes so that contention is visible to same-quantum probes.
+func (m *Machine) Spawn(name string, socket, core int, d cache.Domain, w Workload) *Thread {
+	if socket < 0 || socket >= len(m.sockets) {
+		panic(fmt.Sprintf("system: no socket %d", socket))
+	}
+	s := m.sockets[socket]
+	if core < 0 || core >= len(s.Cores) {
+		panic(fmt.Sprintf("system: socket %d has no core %d", socket, core))
+	}
+	for _, t := range m.threads {
+		if !t.stopped && t.Sock == s && t.Core.ID == core {
+			panic(fmt.Sprintf("system: core %d/%d already has thread %q", socket, core, t.Name))
+		}
+	}
+	t := &Thread{
+		Name:   name,
+		Sock:   s,
+		Core:   s.Cores[core],
+		Caches: s.coreCaches[core],
+		Domain: d,
+		rng:    m.rng.Split(sim.HashString(name)),
+	}
+	t.w = w
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// inTail reports whether the quantum ending at now falls inside the
+// governor's status-sampling window at the end of the current epoch.
+func (m *Machine) inTail(now sim.Time) bool {
+	tail := m.cfg.UFS.TailWindow
+	if tail <= 0 || tail > m.cfg.UFS.Epoch {
+		return true
+	}
+	phase := now % m.cfg.UFS.Epoch
+	return phase == 0 || phase > m.cfg.UFS.Epoch-tail
+}
+
+// CoreBusy reports whether a live thread is pinned to the given core.
+func (m *Machine) CoreBusy(socket, core int) bool {
+	s := m.sockets[socket]
+	for _, t := range m.threads {
+		if !t.stopped && t.Sock == s && t.Core.ID == core {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeCore returns the highest-numbered unoccupied core on the socket that
+// is not in avoid, or -1 if none is free.
+func (m *Machine) FreeCore(socket int, avoid ...int) int {
+	s := m.sockets[socket]
+next:
+	for c := len(s.Cores) - 1; c >= 0; c-- {
+		if m.CoreBusy(socket, c) {
+			continue
+		}
+		for _, a := range avoid {
+			if c == a {
+				continue next
+			}
+		}
+		return c
+	}
+	return -1
+}
+
+// stepQuantum advances every runnable thread by one quantum.
+func (m *Machine) stepQuantum(now sim.Time) {
+	for _, s := range m.sockets {
+		s.Mesh.BeginQuantum(m.cfg.Quantum, s.Gov.Current())
+		s.quantumPower = 0
+	}
+	tail := m.inTail(now)
+	busy := make(map[*cpu.Core]bool)
+	for _, t := range m.threads {
+		if t.stopped || t.w == nil {
+			continue
+		}
+		ctx := &Ctx{
+			m:       m,
+			t:       t,
+			start:   now - m.cfg.Quantum,
+			quantum: m.cfg.Quantum,
+		}
+		act := t.w.Step(ctx)
+		act.Add(ctx.acc)
+		if act.Active {
+			busy[t.Core] = true
+			t.Core.RecordActive(m.cfg.Quantum, cpu.Counters{
+				Cycles:      act.Cycles,
+				StallCycles: act.StallCycles,
+				LLCAccesses: act.LLCAccesses,
+			}, tail)
+		}
+		if tail {
+			t.Sock.epochLLC += act.LLCAccesses
+			t.Sock.epochPressure += act.Pressure
+		}
+		t.Sock.quantumPower += act.PowerUnits
+	}
+	for _, s := range m.sockets {
+		for _, c := range s.Cores {
+			if !busy[c] {
+				c.RecordIdle(m.cfg.Quantum)
+			}
+		}
+	}
+}
+
+// stepEpoch runs every socket's governor with the epoch's accumulated
+// activity. Sockets tick in ID order; each sees the others' most recent
+// frequency, producing the one-step-behind coupling of §3.4.
+func (m *Machine) stepEpoch(now sim.Time) {
+	window := m.cfg.UFS.TailWindow
+	if window <= 0 || window > m.cfg.UFS.Epoch {
+		window = m.cfg.UFS.Epoch
+	}
+	for _, s := range m.sockets {
+		st := ufs.EpochStats{
+			CoreFreq:    m.cfg.CoreFreq,
+			Window:      window,
+			LLCAccesses: s.epochLLC,
+			Pressure:    s.epochPressure,
+			MinCState:   cpu.C6,
+		}
+		for _, c := range s.Cores {
+			if c.AboveBase() {
+				st.AnyCoreAboveBase = true
+			}
+			if c.CState < st.MinCState {
+				st.MinCState = c.CState
+			}
+			wallCycles := c.Freq.CyclesIn(window)
+			if c.Tail.Cycles > 0.25*wallCycles {
+				// A core counts as active for the stall-proportion
+				// rule only when it is substantially busy in the
+				// sampling window; housekeeping blips do not dilute
+				// the stalled fraction.
+				st.ActiveCores++
+				// Stalledness is judged against the sampling
+				// window's wall cycles, as the PMU sees it: a loop
+				// that only ran for a sliver of the window does not
+				// mark the core stalled even if that sliver was.
+				if c.Tail.StallCycles/wallCycles > m.cfg.UFS.StallRatioThreshold {
+					st.StalledCores++
+				}
+			}
+			// Per-core DVFS: the P-state for the next epoch follows
+			// this epoch's utilization (§2.2.1, SpeedShift).
+			if m.cfg.DVFS.Policy != cpu.PolicyNone {
+				util := c.Epoch.Cycles / c.Freq.CyclesIn(m.cfg.UFS.Epoch)
+				if f := m.cfg.DVFS.Next(util); f > 0 {
+					c.Freq = f
+				}
+			}
+			c.ResetEpoch()
+		}
+		for _, o := range m.sockets {
+			if o != s {
+				st.PeerFreqs = append(st.PeerFreqs, o.Gov.Current())
+			}
+		}
+		s.Gov.Tick(st)
+		s.epochLLC, s.epochPressure = 0, 0
+	}
+}
+
+// PlatformExitLatency is the extra wake time paid when every socket's
+// uncore is in a package C-state and the platform has entered its deep
+// idle state (memory self-refresh, link retraining). The Uncore-idle
+// baseline channel rides on it.
+const PlatformExitLatency = 200 * sim.Microsecond
+
+// PlatformIdle reports whether every socket is in a deep package C-state
+// (PC2 or deeper); shallow halts do not let the platform power down.
+func (m *Machine) PlatformIdle() bool {
+	for _, s := range m.sockets {
+		if s.Gov.PC() < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// WakeLatency models the §2.3 Uncore-idle measurement: the time between a
+// NIC packet arriving for a thread on the given socket/core and its
+// interrupt service routine running — the core's C-state exit latency,
+// the uncore's package C-state exit latency, and the platform deep-idle
+// exit when the whole machine had gone quiet.
+func (m *Machine) WakeLatency(socket, core int, rng *sim.Rand) sim.Time {
+	s := m.sockets[socket]
+	lat := s.Cores[core].CState.ExitLatency() + s.Gov.PC().ExitLatency()
+	if m.PlatformIdle() {
+		lat += PlatformExitLatency
+	}
+	// Interrupt delivery jitter.
+	return lat + rng.Jitter(2*sim.Microsecond)
+}

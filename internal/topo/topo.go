@@ -1,0 +1,214 @@
+// Package topo describes the physical floorplan of a processor die: the 2D
+// grid of tiles connected by the mesh interconnect, which tiles hold cores
+// and LLC slices, which hold memory controllers, and which are fused off.
+//
+// The default layout reproduces Figure 2 of the paper exactly: the XCC
+// (extreme core count) Skylake-SP die of the Intel Xeon Gold 6142, a 5×6
+// grid with 28 core-tile positions and 2 IMC tiles, of which 12 core tiles
+// are disabled, leaving 16 active cores and 16 LLC slices.
+package topo
+
+import "fmt"
+
+// TileKind classifies a position in the die grid.
+type TileKind uint8
+
+const (
+	// TileDisabled is a fused-off core tile. Its router still works
+	// (Figure 2 note: "the routers in the disabled tiles are still
+	// functional"), so it participates in mesh routing but hosts no core
+	// or LLC slice.
+	TileDisabled TileKind = iota
+	// TileCore hosts a core plus an LLC+directory slice.
+	TileCore
+	// TileIMC hosts an integrated memory controller.
+	TileIMC
+)
+
+func (k TileKind) String() string {
+	switch k {
+	case TileDisabled:
+		return "disabled"
+	case TileCore:
+		return "core"
+	case TileIMC:
+		return "imc"
+	default:
+		return fmt.Sprintf("TileKind(%d)", uint8(k))
+	}
+}
+
+// Coord addresses a tile as (column, row), matching the paper's Figure 2
+// labels: the Xeon Gold 6142 die has columns 0..4 and rows 0..5.
+type Coord struct {
+	Col, Row int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Col, c.Row) }
+
+// Hops returns the Manhattan distance between two tiles, the "hops" unit
+// used throughout the paper (cf. Figure 2's 1/2/3-hop annotations).
+func (c Coord) Hops(o Coord) int {
+	return abs(c.Col-o.Col) + abs(c.Row-o.Row)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Die is a processor floorplan: a grid of tiles plus the derived lists of
+// active core tiles and IMC tiles.
+type Die struct {
+	Name string
+	// Cols and Rows give the grid dimensions.
+	Cols, Rows int
+
+	kinds map[Coord]TileKind
+	cores []Coord // active core tiles, in core-ID order
+	imcs  []Coord
+}
+
+// NewDie builds a die from a row-major ASCII picture, one string per row,
+// one byte per column: 'C' for an active core tile, 'x' for a disabled
+// tile, 'M' for an IMC tile. All rows must have equal length.
+func NewDie(name string, rows []string) (*Die, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("topo: die %q has no rows", name)
+	}
+	d := &Die{
+		Name:  name,
+		Cols:  len(rows[0]),
+		Rows:  len(rows),
+		kinds: make(map[Coord]TileKind),
+	}
+	for r, line := range rows {
+		if len(line) != d.Cols {
+			return nil, fmt.Errorf("topo: die %q row %d has %d columns, want %d", name, r, len(line), d.Cols)
+		}
+		for c := 0; c < d.Cols; c++ {
+			coord := Coord{Col: c, Row: r}
+			switch line[c] {
+			case 'C':
+				d.kinds[coord] = TileCore
+				d.cores = append(d.cores, coord)
+			case 'x':
+				d.kinds[coord] = TileDisabled
+			case 'M':
+				d.kinds[coord] = TileIMC
+				d.imcs = append(d.imcs, coord)
+			default:
+				return nil, fmt.Errorf("topo: die %q has unknown tile byte %q at %v", name, line[c], coord)
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustDie is NewDie that panics on error; for package-level layouts.
+func MustDie(name string, rows []string) *Die {
+	d, err := NewDie(name, rows)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Kind reports the tile kind at c, or TileDisabled for out-of-range
+// coordinates.
+func (d *Die) Kind(c Coord) TileKind { return d.kinds[c] }
+
+// NumCores returns the number of active core tiles.
+func (d *Die) NumCores() int { return len(d.cores) }
+
+// CoreCoord returns the tile coordinate of core id (0-based). Core IDs are
+// assigned row-major over active core tiles.
+func (d *Die) CoreCoord(id int) Coord {
+	if id < 0 || id >= len(d.cores) {
+		panic(fmt.Sprintf("topo: die %q has no core %d", d.Name, id))
+	}
+	return d.cores[id]
+}
+
+// Cores returns the coordinates of all active core tiles, in core-ID order.
+// The caller must not modify the returned slice.
+func (d *Die) Cores() []Coord { return d.cores }
+
+// IMCs returns the coordinates of the memory-controller tiles.
+func (d *Die) IMCs() []Coord { return d.imcs }
+
+// SliceCoord returns the tile coordinate of LLC slice id. On Skylake-SP
+// each active core tile carries one LLC slice, so slices share the core
+// numbering.
+func (d *Die) SliceCoord(id int) Coord { return d.CoreCoord(id) }
+
+// NumSlices returns the number of active LLC slices.
+func (d *Die) NumSlices() int { return len(d.cores) }
+
+// CoreIDAt returns the core ID whose tile is at c, or -1 if c is not an
+// active core tile.
+func (d *Die) CoreIDAt(c Coord) int {
+	for i, cc := range d.cores {
+		if cc == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// SliceAtHops returns the ID of an LLC slice exactly h mesh hops away from
+// core id, preferring the lowest-numbered such slice, and reports whether
+// one exists. The paper's characterisation workloads pick target slices by
+// hop distance (§3.1).
+func (d *Die) SliceAtHops(core, h int) (int, bool) {
+	from := d.CoreCoord(core)
+	for i, c := range d.cores {
+		if from.Hops(c) == h {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// XeonGold6142Socket0 is the die of Processor 0 on the paper's evaluation
+// platform, transcribed from Figure 2. Rows are top (row 0) to bottom
+// (row 5); note row 0 and row 5 carry the IMC tiles at column 1.
+//
+// Active core tiles (16): (0..4,1), (0,2),(2,2),(4,2), (0,3),(2,3),(3,3),
+// (0,4),(1,4),(3,4), (0,5),(2,5).
+var XeonGold6142Socket0 = MustDie("xeon-gold-6142-s0", []string{
+	"xMxxx", // row 0
+	"CCCCC", // row 1
+	"CxCxC", // row 2
+	"CxCCx", // row 3
+	"CCxCx", // row 4
+	"CMCxx", // row 5
+})
+
+// XeonGold6142Socket1 is the die of Processor 1. The paper notes the two
+// processors share the basic architecture but differ in which tiles are
+// fused off (§3, "the tiles that are turned off are different"); Figure 2
+// omits the second die, so this is a plausible 16-core variant of the same
+// XCC floorplan with a different disable mask.
+var XeonGold6142Socket1 = MustDie("xeon-gold-6142-s1", []string{
+	"xMxxx", // row 0
+	"CCxCC", // row 1
+	"CCCxC", // row 2
+	"xCCCx", // row 3
+	"CxCCx", // row 4
+	"CMCxx", // row 5
+})
+
+// FullXCC is the complete 28-core XCC die with no tiles disabled; the
+// slice-hash discussion in §2.1 references processors "with 28 active core
+// tiles". Useful for tests that need a regular floorplan.
+var FullXCC = MustDie("xcc-full", []string{
+	"CMCCC",
+	"CCCCC",
+	"CCCCC",
+	"CCCCC",
+	"CCCCC",
+	"CMCCC",
+})

@@ -1,0 +1,145 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXeonGold6142Socket0Layout(t *testing.T) {
+	d := XeonGold6142Socket0
+	if d.NumCores() != 16 {
+		t.Fatalf("socket 0 has %d cores, want 16 (Table 1)", d.NumCores())
+	}
+	if d.NumSlices() != 16 {
+		t.Fatalf("socket 0 has %d slices, want 16", d.NumSlices())
+	}
+	if len(d.IMCs()) != 2 {
+		t.Fatalf("socket 0 has %d IMCs, want 2 (XCC die)", len(d.IMCs()))
+	}
+	// Figure 2 spot checks.
+	wantCores := []Coord{{Col: 0, Row: 1}, {Col: 4, Row: 1}, {Col: 3, Row: 3}, {Col: 2, Row: 5}}
+	for _, c := range wantCores {
+		if d.Kind(c) != TileCore {
+			t.Errorf("tile %v = %v, want core (Figure 2)", c, d.Kind(c))
+		}
+	}
+	wantOff := []Coord{{Col: 1, Row: 2}, {Col: 3, Row: 2}, {Col: 4, Row: 3}, {Col: 2, Row: 4}}
+	for _, c := range wantOff {
+		if d.Kind(c) != TileDisabled {
+			t.Errorf("tile %v = %v, want disabled (Figure 2)", c, d.Kind(c))
+		}
+	}
+	if d.Kind(Coord{Col: 1, Row: 0}) != TileIMC || d.Kind(Coord{Col: 1, Row: 5}) != TileIMC {
+		t.Error("IMC tiles not at (1,0) and (1,5)")
+	}
+}
+
+func TestSocket1AndFullXCC(t *testing.T) {
+	if XeonGold6142Socket1.NumCores() != 16 {
+		t.Errorf("socket 1 has %d cores, want 16", XeonGold6142Socket1.NumCores())
+	}
+	if FullXCC.NumCores() != 28 {
+		t.Errorf("full XCC has %d cores, want 28 (§2.1)", FullXCC.NumCores())
+	}
+	// The two sockets differ in their disable masks (§3).
+	differ := false
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 5; c++ {
+			co := Coord{Col: c, Row: r}
+			if XeonGold6142Socket0.Kind(co) != XeonGold6142Socket1.Kind(co) {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Error("socket dies have identical disable masks")
+	}
+}
+
+func TestFigure8Coordinates(t *testing.T) {
+	// Figure 8's caption: core (3,3) measures slices at (3,3), (2,3),
+	// (2,2), (2,1) for 0..3 hops.
+	d := XeonGold6142Socket0
+	from := Coord{Col: 3, Row: 3}
+	if d.CoreIDAt(from) < 0 {
+		t.Fatal("(3,3) is not an active core")
+	}
+	for i, c := range []Coord{{Col: 3, Row: 3}, {Col: 2, Row: 3}, {Col: 2, Row: 2}, {Col: 2, Row: 1}} {
+		if d.CoreIDAt(c) < 0 {
+			t.Errorf("slice tile %v not active", c)
+		}
+		if got := from.Hops(c); got != i {
+			t.Errorf("hops (3,3)->%v = %d, want %d", c, got, i)
+		}
+	}
+}
+
+func TestHopsProperties(t *testing.T) {
+	// Manhattan distance: symmetric, zero iff equal, triangle holds.
+	f := func(a, b, c int8) bool {
+		p := Coord{Col: int(a) % 5, Row: int(b) % 6}
+		q := Coord{Col: int(c) % 5, Row: int(a) % 6}
+		r := Coord{Col: int(b) % 5, Row: int(c) % 6}
+		if p.Hops(q) != q.Hops(p) {
+			return false
+		}
+		if p.Hops(p) != 0 {
+			return false
+		}
+		return p.Hops(r) <= p.Hops(q)+q.Hops(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreIDStability(t *testing.T) {
+	d := XeonGold6142Socket0
+	for id := 0; id < d.NumCores(); id++ {
+		if got := d.CoreIDAt(d.CoreCoord(id)); got != id {
+			t.Errorf("CoreIDAt(CoreCoord(%d)) = %d", id, got)
+		}
+	}
+	if d.CoreIDAt(Coord{Col: 1, Row: 0}) != -1 {
+		t.Error("IMC tile reported a core ID")
+	}
+}
+
+func TestSliceAtHops(t *testing.T) {
+	d := XeonGold6142Socket0
+	for core := 0; core < d.NumCores(); core++ {
+		if s, ok := d.SliceAtHops(core, 0); !ok || s != core {
+			t.Errorf("core %d: 0-hop slice = %d,%v, want itself", core, s, ok)
+		}
+	}
+	if _, ok := d.SliceAtHops(0, 100); ok {
+		t.Error("found a slice 100 hops away")
+	}
+}
+
+func TestNewDieValidation(t *testing.T) {
+	if _, err := NewDie("bad", []string{"CC", "C"}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := NewDie("bad", []string{"CQ"}); err == nil {
+		t.Error("unknown tile byte accepted")
+	}
+	if _, err := NewDie("bad", nil); err == nil {
+		t.Error("empty die accepted")
+	}
+}
+
+func TestCoreCoordPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CoreCoord(99) did not panic")
+		}
+	}()
+	XeonGold6142Socket0.CoreCoord(99)
+}
+
+func TestTileKindString(t *testing.T) {
+	if TileCore.String() != "core" || TileIMC.String() != "imc" || TileDisabled.String() != "disabled" {
+		t.Error("TileKind strings wrong")
+	}
+}

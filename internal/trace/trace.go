@@ -1,0 +1,87 @@
+// Package trace records time series produced during simulation — uncore
+// frequency traces (Figures 5–7, 11, 12) and LLC latency traces (Figure 9)
+// — and renders them as TSV for offline plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Sample is one timestamped observation.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is a named sequence of samples.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends an observation.
+func (s *Series) Add(at sim.Time, v float64) {
+	s.Samples = append(s.Samples, Sample{At: at, Value: v})
+}
+
+// Values returns just the observed values, in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.Value
+	}
+	return out
+}
+
+// Window returns the values observed in [from, to).
+func (s *Series) Window(from, to sim.Time) []float64 {
+	var out []float64
+	for _, sm := range s.Samples {
+		if sm.At >= from && sm.At < to {
+			out = append(out, sm.Value)
+		}
+	}
+	return out
+}
+
+// StepTimes returns the instants at which the value changed, useful for
+// verifying the ~10 ms spacing annotations of Figures 5 and 6.
+func (s *Series) StepTimes() []sim.Time {
+	var out []sim.Time
+	for i := 1; i < len(s.Samples); i++ {
+		if s.Samples[i].Value != s.Samples[i-1].Value {
+			out = append(out, s.Samples[i].At)
+		}
+	}
+	return out
+}
+
+// WriteTSV renders one or more series sharing a time axis, one row per
+// sample index: time_ms followed by each series' value. Series must be
+// sampled in lockstep (same length and instants); it returns an error
+// otherwise.
+func WriteTSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0].Samples)
+	fmt.Fprint(w, "time_ms")
+	for _, s := range series {
+		if len(s.Samples) != n {
+			return fmt.Errorf("trace: series %q has %d samples, want %d", s.Name, len(s.Samples), n)
+		}
+		fmt.Fprintf(w, "\t%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%.3f", series[0].Samples[i].At.Milliseconds())
+		for _, s := range series {
+			fmt.Fprintf(w, "\t%g", s.Samples[i].Value)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

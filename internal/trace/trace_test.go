@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "f"}
+	s.Add(10*sim.Millisecond, 1.5)
+	s.Add(20*sim.Millisecond, 1.6)
+	s.Add(30*sim.Millisecond, 1.6)
+	if got := s.Values(); len(got) != 3 || got[1] != 1.6 {
+		t.Errorf("Values() = %v", got)
+	}
+	w := s.Window(15*sim.Millisecond, 30*sim.Millisecond)
+	if len(w) != 1 || w[0] != 1.6 {
+		t.Errorf("Window = %v", w)
+	}
+}
+
+func TestStepTimes(t *testing.T) {
+	s := &Series{}
+	for i, v := range []float64{1.5, 1.5, 1.6, 1.6, 1.7, 1.7, 1.7, 1.6} {
+		s.Add(sim.Time(i)*10*sim.Millisecond, v)
+	}
+	steps := s.StepTimes()
+	want := []sim.Time{20 * sim.Millisecond, 40 * sim.Millisecond, 70 * sim.Millisecond}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", steps, want)
+		}
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	a, b := &Series{Name: "a"}, &Series{Name: "b"}
+	a.Add(sim.Millisecond, 1)
+	b.Add(sim.Millisecond, 2)
+	a.Add(2*sim.Millisecond, 3)
+	b.Add(2*sim.Millisecond, 4)
+	var sb strings.Builder
+	if err := WriteTSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "time_ms\ta\tb\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1.000\t1\t2") || !strings.Contains(out, "2.000\t3\t4") {
+		t.Errorf("rows wrong: %q", out)
+	}
+}
+
+func TestWriteTSVLengthMismatch(t *testing.T) {
+	a, b := &Series{Name: "a"}, &Series{Name: "b"}
+	a.Add(sim.Millisecond, 1)
+	var sb strings.Builder
+	if err := WriteTSV(&sb, a, b); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if err := WriteTSV(&sb); err != nil {
+		t.Error("zero series should be a no-op")
+	}
+}

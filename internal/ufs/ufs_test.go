@@ -1,0 +1,271 @@
+package ufs
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/sim"
+)
+
+func newGov() (*Governor, *msr.File) {
+	f := msr.NewFile()
+	g := NewGovernor(DefaultParams(), f, sim.NewRand(1))
+	return g, f
+}
+
+// stats builds EpochStats for a utilisation level expressed in reference
+// traffic threads and a distance-weighted pressure, at the governor's
+// current frequency.
+func stats(g *Governor, utilThreads, pressure float64, active, stalled int) EpochStats {
+	p := g.Params()
+	ref := p.Timing.ReferenceRate(sim.CoreBase, g.Current()) * p.TailWindow.Seconds()
+	return EpochStats{
+		CoreFreq:     sim.CoreBase,
+		Window:       p.TailWindow,
+		LLCAccesses:  utilThreads * ref,
+		Pressure:     pressure * ref,
+		ActiveCores:  active,
+		StalledCores: stalled,
+		MinCState:    cpu.C0,
+	}
+}
+
+func settle(g *Governor, st func() EpochStats, epochs int) sim.Freq {
+	var f sim.Freq
+	for i := 0; i < epochs; i++ {
+		f = g.Tick(st())
+	}
+	return f
+}
+
+func TestIdleDither(t *testing.T) {
+	g, _ := newGov()
+	seen := map[sim.Freq]int{}
+	for i := 0; i < 200; i++ {
+		seen[g.Tick(stats(g, 0, 0, 0, 0))]++
+	}
+	if seen[15] == 0 || seen[14] == 0 {
+		t.Fatalf("idle dither missing a level: %v (§3.1: alternates 1.4/1.5)", seen)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("idle visits unexpected frequencies: %v", seen)
+	}
+	if !g.Dithering() {
+		t.Error("governor not reporting dither state")
+	}
+}
+
+func TestStallRuleRampsToMax(t *testing.T) {
+	g, _ := newGov()
+	// >1/3 active cores stalled → target max, one step per epoch.
+	prev := g.Current()
+	steps := 0
+	for i := 0; i < 30 && g.Current() < 24; i++ {
+		f := g.Tick(stats(g, 0.1, 0, 2, 1))
+		if f > prev {
+			if f != prev+1 {
+				t.Fatalf("jumped from %v to %v (want 100 MHz steps)", prev, f)
+			}
+			steps++
+		}
+		prev = f
+	}
+	if g.Current() != 24 {
+		t.Fatalf("stall rule stabilized at %v, want 2.4GHz", g.Current())
+	}
+	if steps > 10 {
+		t.Errorf("took %d raising epochs; heavy demand should step every epoch", steps)
+	}
+}
+
+func TestStallFractionBoundaries(t *testing.T) {
+	g, _ := newGov()
+	// Exactly 1/3 (2 of 6) is NOT 'more than 1/3' → intermediate point.
+	f := settle(g, func() EpochStats { return stats(g, 0.2, 0, 6, 2) }, 60)
+	if f != g.Params().MidFreq {
+		t.Errorf("2/6 stalled settles at %v, want %v (Figure 4)", f, g.Params().MidFreq)
+	}
+	// 1/4 or less with negligible utilisation → idle band.
+	g2, _ := newGov()
+	f2 := settle(g2, func() EpochStats { return stats(g2, 0.2, 0, 8, 2) }, 60)
+	if f2 > 15 || f2 < 14 {
+		t.Errorf("2/8 stalled settles at %v, want idle band", f2)
+	}
+}
+
+func TestUtilizationLadderCapsBelowMax(t *testing.T) {
+	g, _ := newGov()
+	// Heavy LLC utilisation with zero interconnect pressure tops out at
+	// 2.3 GHz (§3.1: "the frequency can only go up to 2.3 GHz").
+	f := settle(g, func() EpochStats { return stats(g, 16, 0, 16, 0) }, 200)
+	if f != 23 {
+		t.Errorf("pure-LLC demand settles at %v, want 2.3GHz", f)
+	}
+}
+
+func TestPressureReachesMax(t *testing.T) {
+	g, _ := newGov()
+	f := settle(g, func() EpochStats { return stats(g, 1, 8, 1, 0) }, 60)
+	if f != 24 {
+		t.Errorf("high interconnect pressure settles at %v, want 2.4GHz", f)
+	}
+}
+
+func TestLightDemandRampsSlowly(t *testing.T) {
+	g, _ := newGov()
+	// One traffic thread (target 2.1 GHz): >50 ms per step (§4.3.1).
+	epochsPerStep := 0
+	prev := g.Current()
+	for i := 0; i < 200 && g.Current() < 21; i++ {
+		f := g.Tick(stats(g, 1, 0, 1, 0))
+		epochsPerStep++
+		if f > prev {
+			if f == 16 { // first step measured from a clean count
+				if epochsPerStep < g.Params().SlowEpochs {
+					t.Fatalf("light demand stepped after %d epochs, want ≥%d", epochsPerStep, g.Params().SlowEpochs)
+				}
+			}
+			epochsPerStep = 0
+			prev = f
+		}
+	}
+	if g.Current() != 21 {
+		t.Errorf("one traffic thread settles at %v, want 2.1GHz (Figure 3)", g.Current())
+	}
+}
+
+func TestDecreaseStepsEveryEpoch(t *testing.T) {
+	g, _ := newGov()
+	settle(g, func() EpochStats { return stats(g, 0.1, 0, 1, 1) }, 20) // pin at max
+	prev := g.Current()
+	for prev > 15 {
+		f := g.Tick(stats(g, 0, 0, 0, 0))
+		if f != prev-1 && f != prev {
+			t.Fatalf("decrease from %v jumped to %v", prev, f)
+		}
+		if f == prev {
+			t.Fatalf("decrease stalled at %v; decreases step every epoch (Figure 6)", f)
+		}
+		prev = f
+	}
+}
+
+func TestFixedRatioDisablesUFS(t *testing.T) {
+	g, f := newGov()
+	if err := f.SetRatio(msr.RatioLimit{Min: 20, Max: 20}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := g.Tick(stats(g, 0.1, 0, 1, 1)); got != 20 {
+			t.Fatalf("fixed-ratio frequency = %v, want pinned 2.0GHz", got)
+		}
+	}
+	if g.Dithering() {
+		t.Error("pinned governor reports dithering")
+	}
+}
+
+func TestAboveBasePinsMax(t *testing.T) {
+	g, _ := newGov()
+	st := stats(g, 0, 0, 1, 0)
+	st.AnyCoreAboveBase = true
+	if got := g.Tick(st); got != 24 {
+		t.Errorf("turbo core → uncore %v, want pinned max (§2.2.1)", got)
+	}
+}
+
+func TestCouplingFollowsPeer(t *testing.T) {
+	g, _ := newGov()
+	// Idle socket with a busy peer at 2.4: follow to one step below,
+	// stepping every epoch.
+	cur := g.Current()
+	for i := 0; i < 20; i++ {
+		st := stats(g, 0, 0, 0, 0)
+		st.PeerFreqs = []sim.Freq{24}
+		f := g.Tick(st)
+		if f > cur+1 {
+			t.Fatalf("coupled follower jumped from %v to %v", cur, f)
+		}
+		cur = f
+	}
+	if cur != 23 {
+		t.Errorf("follower settled at %v, want 2.3GHz (§3.4)", cur)
+	}
+}
+
+func TestRestrictedRangeStillSteps(t *testing.T) {
+	g, f := newGov()
+	if err := f.SetRatio(msr.RatioLimit{Min: 15, Max: 17}); err != nil {
+		t.Fatal(err)
+	}
+	// §6.1: with a restricted range the stall rule still raises the
+	// frequency 100 MHz per epoch to the highest allowed point.
+	st := func() EpochStats { return stats(g, 0.1, 0, 1, 1) }
+	f1 := g.Tick(st())
+	f2 := g.Tick(st())
+	if f2 != f1+1 && f1 != 17 {
+		t.Errorf("restricted range not stepping per epoch: %v then %v", f1, f2)
+	}
+	if got := settle(g, st, 10); got != 17 {
+		t.Errorf("restricted range settles at %v, want 1.7GHz", got)
+	}
+}
+
+func TestPCStateFollowsCores(t *testing.T) {
+	g, _ := newGov()
+	st := stats(g, 0, 0, 0, 0)
+	st.MinCState = cpu.C6
+	g.Tick(st)
+	if g.PC() != PCState(6) {
+		t.Errorf("all-idle PC = %v, want PC6", g.PC())
+	}
+	st = stats(g, 0.1, 0, 1, 0)
+	g.Tick(st)
+	if g.PC() != 0 {
+		t.Errorf("active-core PC = %v, want PC0 (§2.2.2)", g.PC())
+	}
+}
+
+func TestSampleFreqBlendsDither(t *testing.T) {
+	g, _ := newGov()
+	g.Tick(stats(g, 0, 0, 0, 0)) // enter idle dither
+	rng := sim.NewRand(5)
+	seen := map[sim.Freq]bool{}
+	for i := 0; i < 200; i++ {
+		seen[g.SampleFreq(rng)] = true
+	}
+	if !seen[14] || !seen[15] {
+		t.Errorf("SampleFreq during dither saw %v, want both 1.4 and 1.5", seen)
+	}
+}
+
+func TestDistanceWeight(t *testing.T) {
+	p := DefaultParams()
+	if p.DistanceWeight(0) != 0 {
+		t.Error("0-hop traffic has pressure weight")
+	}
+	for h := 1; h < 8; h++ {
+		if p.DistanceWeight(h) <= p.DistanceWeight(h-1) {
+			t.Errorf("weight not increasing at %d hops", h)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative hops accepted")
+		}
+	}()
+	p.DistanceWeight(-1)
+}
+
+func TestPCStateExitLatencies(t *testing.T) {
+	if PCState(0).ExitLatency() != 0 {
+		t.Error("PC0 has exit latency")
+	}
+	if PCState(6).ExitLatency() <= PCState(1).ExitLatency() {
+		t.Error("deeper PC state not slower to exit")
+	}
+	if PCState(2).String() != "PC2" {
+		t.Errorf("String() = %q", PCState(2).String())
+	}
+}

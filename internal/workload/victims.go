@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// Compression models the §5 file-size-profiling victim: a Python process
+// compressing a file. Its execution time is proportional to the file size;
+// while it runs, its core is active but not stalled (the working set is
+// cache-resident), which dilutes the attacker's stalled-core fraction and
+// pulls the uncore frequency down — the dwell time at low frequency leaks
+// the file size (Figure 11).
+type Compression struct {
+	// Start is when the job begins.
+	Start sim.Time
+	// SizeKB is the input file size.
+	SizeKB int
+}
+
+// Duration returns the job's total run time. The linear model (fixed
+// interpreter startup plus throughput-bound compression) gives the
+// ≈300 KB-granularity resolution the paper reports.
+func (w *Compression) Duration() sim.Time {
+	return 120*sim.Millisecond + sim.Time(float64(w.SizeKB)/1024*140)*sim.Millisecond
+}
+
+// Step implements system.Workload.
+func (w *Compression) Step(ctx *system.Ctx) system.Activity {
+	at := ctx.Start()
+	if at < w.Start || at >= w.Start+w.Duration() {
+		return system.Activity{}
+	}
+	cycles := fullQuantumCycles(ctx)
+	return system.Activity{Active: true, Cycles: cycles, StallCycles: 0.12 * cycles}
+}
+
+// Segment is one stage of a website's activity signature: for Dur, Threads
+// of the browser's cores are busy.
+type Segment struct {
+	Dur     sim.Time
+	Threads int
+}
+
+// SiteSignature derives the characteristic activity envelope of a website:
+// the sequence of render/script/network phases a browser goes through when
+// loading and displaying it. Each site gets a stable, distinctive envelope
+// (seeded by its name); visits replay it with jitter (NewBrowseVisit).
+// Envelopes use up to two browser threads, so the attacker's observed
+// uncore frequency moves between freq_max (victim idle), the intermediate
+// point (one victim thread), and freq_min (two victim threads) — the
+// Figure 12 trace structure.
+func SiteSignature(site string, total sim.Time) []Segment {
+	rng := sim.NewRand(sim.HashString(site))
+	var segs []Segment
+	var acc sim.Time
+	for acc < total {
+		d := sim.Time(30+rng.IntN(270)) * sim.Millisecond
+		if acc+d > total {
+			d = total - acc
+		}
+		var th int
+		switch r := rng.Float64(); {
+		case r < 0.30:
+			th = 0
+		case r < 0.85:
+			th = 1
+		default:
+			th = 2
+		}
+		segs = append(segs, Segment{Dur: d, Threads: th})
+		acc += d
+	}
+	return segs
+}
+
+// NewBrowseVisit instantiates one visit to site as two browser-thread
+// workloads starting at start. visit selects the per-visit jitter stream:
+// segment durations stretch by ±8 % and occasional background activity is
+// injected, so no two visits produce identical traces (the classifier has
+// to generalise, as in §5's train/attack phases).
+func NewBrowseVisit(site string, visit int, start, total sim.Time) (w0, w1 system.Workload) {
+	sig := SiteSignature(site, total)
+	jrng := sim.NewRand(sim.HashString(fmt.Sprintf("%s#%d", site, visit)))
+	var p0, p1 []Phase
+	at := start
+	for _, seg := range sig {
+		d := sim.Time(float64(seg.Dur) * jrng.Norm(1, 0.12))
+		if d < sim.Millisecond {
+			d = sim.Millisecond
+		}
+		at += d
+		noise0, noise1 := jrng.Bool(0.09), jrng.Bool(0.09)
+		var a0, a1 system.Workload
+		if seg.Threads > 0 || noise0 {
+			a0 = Nop{}
+		}
+		if seg.Threads > 1 || noise1 {
+			// Background tab/GC noise on the second thread.
+			a1 = Nop{}
+		}
+		p0 = append(p0, Phase{Until: at, W: a0})
+		p1 = append(p1, Phase{Until: at, W: a1})
+	}
+	return &Phased{Phases: p0}, &Phased{Phases: p1}
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+func newMachine(seed uint64) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+// runOne spawns w on core 0 and returns its core after d.
+func runOne(t *testing.T, w system.Workload, d sim.Time) (*system.Machine, *system.Thread) {
+	t.Helper()
+	m := newMachine(1)
+	th := m.Spawn("w", 0, 0, 0, w)
+	m.Run(d)
+	return m, th
+}
+
+func TestTrafficStallRatio(t *testing.T) {
+	_, th := runOne(t, &Traffic{Slice: 0}, 500*sim.Millisecond)
+	if r := th.Core.Total.StallRatio(); r < 0.25 || r > 0.35 {
+		t.Errorf("traffic stall ratio %.2f, want ≈0.30 (§3.2)", r)
+	}
+	if th.Core.Total.LLCAccesses == 0 {
+		t.Error("traffic loop generated no LLC accesses")
+	}
+}
+
+func TestStallingStallRatio(t *testing.T) {
+	_, th := runOne(t, &Stalling{Slice: 0}, 500*sim.Millisecond)
+	if r := th.Core.Total.StallRatio(); r < 0.7 || r > 0.85 {
+		t.Errorf("stalling stall ratio %.2f, want ≈0.77 (§3.2)", r)
+	}
+}
+
+func TestStallingSlowerThanTraffic(t *testing.T) {
+	_, tr := runOne(t, &Traffic{Slice: 0}, 200*sim.Millisecond)
+	_, ch := runOne(t, &Stalling{Slice: 0}, 200*sim.Millisecond)
+	// The chase is serialized: roughly MLP× fewer accesses.
+	ratio := tr.Core.Total.LLCAccesses / ch.Core.Total.LLCAccesses
+	if ratio < 4 || ratio > 12 {
+		t.Errorf("traffic/chase access ratio %.1f, want ≈8 (the loop MLP)", ratio)
+	}
+}
+
+func TestNopAndL2Chase(t *testing.T) {
+	_, nop := runOne(t, Nop{}, 100*sim.Millisecond)
+	if nop.Core.Total.StallRatio() != 0 {
+		t.Error("nop loop stalls")
+	}
+	if nop.Core.Total.LLCAccesses != 0 {
+		t.Error("nop loop touches the LLC")
+	}
+	_, l2 := runOne(t, L2Chase{}, 100*sim.Millisecond)
+	if r := l2.Core.Total.StallRatio(); r < 0.1 || r > 0.2 {
+		t.Errorf("L2 chase stall ratio %.2f, want ≈0.14 (§3.2)", r)
+	}
+	if l2.Core.Total.LLCAccesses != 0 {
+		t.Error("L2 chase touches the LLC")
+	}
+}
+
+func TestMeasureCollectsSamples(t *testing.T) {
+	m := newMachine(2)
+	lines, err := memsys.EvictionList(m.Socket(0).Hier, 0, memsys.NewAllocator(), 3, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var lastAt sim.Time
+	w := &Measure{
+		Lines:      lines,
+		PerQuantum: 10,
+		Sink: func(at sim.Time, cycles float64) {
+			n++
+			if at < lastAt {
+				t.Fatal("samples not time-ordered")
+			}
+			lastAt = at
+			if cycles < 30 && n > 60 {
+				t.Fatalf("steady-state sample %f cycles: not an LLC hit", cycles)
+			}
+		},
+	}
+	m.Spawn("measure", 0, 0, 0, w)
+	m.Run(50 * sim.Millisecond)
+	if n < 1000 {
+		t.Errorf("collected %d samples, want ≥1000", n)
+	}
+}
+
+func TestMeasureEnabledGate(t *testing.T) {
+	m := newMachine(3)
+	lines, err := memsys.EvictionList(m.Socket(0).Hier, 0, memsys.NewAllocator(), 3, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	w := &Measure{
+		Lines:   lines,
+		Sink:    func(sim.Time, float64) { n++ },
+		Enabled: func(at sim.Time) bool { return false },
+	}
+	m.Spawn("measure", 0, 0, 0, w)
+	m.Run(20 * sim.Millisecond)
+	if n != 0 {
+		t.Errorf("disabled measure collected %d samples", n)
+	}
+}
+
+func TestPhasedSwitchesAndEnds(t *testing.T) {
+	m := newMachine(4)
+	w := &Phased{Phases: []Phase{
+		{Until: 20 * sim.Millisecond, W: Nop{}},
+		{Until: 40 * sim.Millisecond, W: nil}, // idle phase
+		{Until: 60 * sim.Millisecond, W: &Stalling{Slice: 0}},
+	}}
+	th := m.Spawn("phased", 0, 0, 0, w)
+	m.Run(20 * sim.Millisecond)
+	active := th.Core.Total.Cycles
+	if active == 0 {
+		t.Fatal("phase 1 never ran")
+	}
+	m.Run(20 * sim.Millisecond)
+	if th.Core.Total.Cycles != active {
+		t.Error("idle phase accumulated cycles")
+	}
+	m.Run(20 * sim.Millisecond)
+	if th.Core.Total.StallCycles == 0 {
+		t.Error("stalling phase never ran")
+	}
+	after := th.Core.Total.Cycles
+	m.Run(20 * sim.Millisecond) // past the last phase
+	if th.Core.Total.Cycles != after {
+		t.Error("workload still active after its last phase")
+	}
+}
+
+func TestCacheStressorDutyCycle(t *testing.T) {
+	m := newMachine(5)
+	w := NewCacheStressor(0, 2)
+	th := m.Spawn("stress", 0, 0, 0, w)
+	m.Run(w.Period * 4)
+	// Burst fraction of cycles ≈ duty plus the small housekeeping
+	// wakes of the off-phase.
+	wall := sim.CoreBase.CyclesIn(w.Period * 4)
+	frac := th.Core.Total.Cycles / wall
+	if frac < w.Duty*0.9 || frac > w.Duty+0.15 {
+		t.Errorf("stressor active fraction %.2f, duty %.2f", frac, w.Duty)
+	}
+	if th.Core.Total.StallRatio() < 0.5 {
+		t.Errorf("stressor bursts not memory-stalled (ratio %.2f)", th.Core.Total.StallRatio())
+	}
+}
+
+func TestCompressionDuration(t *testing.T) {
+	c := &Compression{SizeKB: 2048}
+	want := 120*sim.Millisecond + 280*sim.Millisecond
+	if got := c.Duration(); got != want {
+		t.Errorf("Duration(2MB) = %v, want %v", got, want)
+	}
+	m := newMachine(6)
+	c.Start = 10 * sim.Millisecond
+	th := m.Spawn("victim", 0, 0, 0, c)
+	m.Run(5 * sim.Millisecond)
+	if th.Core.Total.Cycles != 0 {
+		t.Error("victim active before start")
+	}
+	m.Run(c.Duration() + 20*sim.Millisecond)
+	if th.Core.Total.Cycles == 0 {
+		t.Error("victim never ran")
+	}
+	if th.Core.Total.StallRatio() > 0.5 {
+		t.Error("compression victim counts as stalled; it must dilute, not join, the stall set")
+	}
+}
+
+func TestSiteSignatureStableAndDistinct(t *testing.T) {
+	a1 := SiteSignature("a.example", 2*sim.Second)
+	a2 := SiteSignature("a.example", 2*sim.Second)
+	if len(a1) == 0 || len(a1) != len(a2) {
+		t.Fatal("signature not stable")
+	}
+	var total sim.Time
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("signature not deterministic")
+		}
+		if a1[i].Threads < 0 || a1[i].Threads > 2 {
+			t.Fatalf("segment threads = %d", a1[i].Threads)
+		}
+		total += a1[i].Dur
+	}
+	if total != 2*sim.Second {
+		t.Errorf("segments cover %v, want 2s", total)
+	}
+	b := SiteSignature("b.example", 2*sim.Second)
+	same := len(a1) == len(b)
+	if same {
+		for i := range a1 {
+			if a1[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("two sites share a signature")
+	}
+}
+
+func TestBrowseVisitJitter(t *testing.T) {
+	w0a, _ := NewBrowseVisit("a.example", 0, 0, sim.Second)
+	w0b, _ := NewBrowseVisit("a.example", 1, 0, sim.Second)
+	pa := w0a.(*Phased)
+	pb := w0b.(*Phased)
+	if len(pa.Phases) != len(pb.Phases) {
+		t.Fatal("visits have different segment counts")
+	}
+	differ := false
+	for i := range pa.Phases {
+		if pa.Phases[i].Until != pb.Phases[i].Until {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("visits have identical timing (no jitter)")
+	}
+}
