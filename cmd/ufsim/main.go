@@ -9,6 +9,11 @@
 //	ufsim -experiment all            regenerate everything
 //	ufsim -experiment fig10 -quick   fast, reduced-density variant
 //	ufsim -experiment fig9 -seed 7   change the simulation seed
+//
+// The reliability subcommand runs one faulted ARQ transfer and prints
+// its per-frame transcript:
+//
+//	ufsim reliability -intensity 0.75 -bytes 32
 package main
 
 import (
@@ -22,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "reliability" {
+		reliabilityCmd(os.Args[2:])
+		return
+	}
 	var (
 		list  = flag.Bool("list", false, "list available experiments")
 		id    = flag.String("experiment", "", "experiment id to run (or \"all\")")

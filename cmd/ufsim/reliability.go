@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/channel/link"
+	"repro/internal/channel/ufvariation"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// reliabilityCmd is the `ufsim reliability` subcommand: one faulted
+// transfer over the ARQ transport at a chosen intensity, with the
+// per-frame transcript the sweep experiment aggregates away. Where
+// `-experiment rel` answers "how does goodput scale with fault
+// intensity", this answers "what exactly happened to my frames".
+func reliabilityCmd(args []string) {
+	fs := flag.NewFlagSet("reliability", flag.ExitOnError)
+	var (
+		seed      = fs.Uint64("seed", 0x5eed, "simulation seed")
+		intensity = fs.Float64("intensity", 0.5, "fault intensity in [0,1]")
+		bytes     = fs.Int("bytes", 24, "payload size in bytes")
+		cross     = fs.Bool("cross", true, "cross-processor placement (false: cross-core)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ufsim reliability [-seed N] [-intensity X] [-bytes N] [-cross=false]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	mcfg := system.DefaultConfig()
+	mcfg.Seed = *seed
+	m := system.New(mcfg)
+	inj := faults.New(faults.DefaultConfig(*intensity), m.Rand(0xFA017))
+	if err := inj.Attach(m); err != nil {
+		fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := ufvariation.DefaultConfig()
+	if *cross {
+		cfg = cfg.CrossProcessor()
+	}
+	phy := &ufvariation.LinkPhy{
+		M:       m,
+		Cfg:     cfg,
+		Corrupt: inj.CorruptBits,
+		AckLoss: inj.AckLost,
+	}
+	tcfg := link.DefaultTransportConfig()
+	tcfg.Interval = cfg.Interval
+	tr := link.NewTransport(phy, tcfg)
+
+	payload := make([]byte, *bytes)
+	prng := sim.NewRand(*seed ^ 0xbadfa017)
+	for i := range payload {
+		payload[i] = byte(prng.IntN(256))
+	}
+
+	fmt.Printf("reliability: %d bytes at intensity %.2f, %v base interval, seed %#x\n\n",
+		*bytes, inj.Config().Intensity, cfg.Interval, *seed)
+	t0 := m.Now()
+	got, stats, err := tr.Send(payload)
+	air := m.Now() - t0
+
+	fmt.Printf("%5s  %5s  %8s  %5s  %11s  %6s  %8s  %s\n",
+		"frame", "bytes", "attempts", "nacks", "corrections", "pilots", "interval", "status")
+	for _, fr := range stats.Frames {
+		status := "ok"
+		if !fr.Delivered {
+			status = "ABANDONED"
+		}
+		fmt.Printf("%5d  %5d  %8d  %5d  %11d  %6d  %8v  %s\n",
+			fr.Seq, fr.Bytes, fr.Attempts, fr.Nacks, fr.Corrections, fr.Pilots, fr.Interval, status)
+	}
+
+	fst := inj.Stats()
+	fmt.Printf("\ninjected: %d/%d burst steps bad, %d epochs held, %d samples dropped, %d preemptions, %d bits erased, %d ACKs lost\n",
+		fst.BadSteps, fst.BurstSteps, fst.HeldEpochs, fst.DroppedSamples, fst.Preemptions, fst.ErasedBits, fst.LostAcks)
+	fmt.Printf("transport: %d transmissions (%d retrans), %d corrections, %d recalibrations, %d degradations, %d duplicates\n",
+		stats.Transmissions, stats.Retransmissions, stats.Corrections, stats.Recalibrations, stats.Degradations, stats.Duplicates)
+	rawBER := 0.0
+	if phy.RawBits > 0 {
+		rawBER = float64(phy.RawErrors) / float64(phy.RawBits)
+	}
+	fmt.Printf("delivered %d/%d bytes in %v air time — raw BER %.3f, goodput %.2f bit/s, final interval %v\n",
+		len(got), len(payload), air, rawBER, float64(len(got)*8)/air.Seconds(), tr.Interval())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
+		os.Exit(1)
+	}
+}

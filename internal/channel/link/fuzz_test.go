@@ -1,0 +1,52 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+)
+
+// FuzzDeframe hardens the deframer against arbitrary input: whatever
+// bits a broken or adversarial channel delivers, at whatever claimed
+// interleave depth, Deframe must return an error rather than panic or
+// over-read, and an accepted frame must re-serialise to a consistent
+// wire length.
+func FuzzDeframe(f *testing.F) {
+	f.Add([]byte{}, 4, uint8(0))
+	f.Add([]byte{0xff}, 0, uint8(3))
+	f.Add([]byte{0xd2, 0x00, 0x00}, -1, uint8(0))
+	f.Add([]byte{0xd2, 0xff, 0xff, 0xff, 0xff}, 1, uint8(7))
+	if valid, err := (Frame{Seq: 9, Data: []byte("hi"), Depth: 4}).Bits(); err == nil {
+		packed := make([]byte, (len(valid)+7)/8)
+		for i, b := range valid {
+			if b != 0 {
+				packed[i/8] |= 1 << (7 - i%8)
+			}
+		}
+		f.Add(packed, 4, uint8(0))
+		f.Add(packed, 7, uint8(1))
+		f.Add(packed, 1<<30, uint8(5))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, depth int, trunc uint8) {
+		bits := channel.FromBytes(data)
+		// Truncate to exercise non-byte-aligned lengths.
+		if cut := int(trunc) % (len(bits) + 1); cut > 0 {
+			bits = bits[:len(bits)-cut]
+		}
+		payload, seq, corrections, err := Deframe(bits, depth)
+		if corrections < 0 {
+			t.Fatalf("negative correction count %d", corrections)
+		}
+		if err != nil {
+			return
+		}
+		if len(payload) > 255 {
+			t.Fatalf("deframed %d bytes from a 255-byte-max format", len(payload))
+		}
+		// An accepted frame must be re-framable: the parsed fields are
+		// internally consistent.
+		if _, ferr := (Frame{Seq: seq, Data: payload, Depth: depth}).Bits(); ferr != nil {
+			t.Fatalf("accepted frame does not re-serialise: %v", ferr)
+		}
+	})
+}

@@ -86,9 +86,11 @@ func Decode(coded channel.Bits, n, depth int) (channel.Bits, int, error) {
 }
 
 // interleave writes bits row-major into a depth-row matrix and reads them
-// column-major, dispersing bursts.
+// column-major, dispersing bursts. A depth of at least len(bits) is a
+// single-column matrix — the identity — and short-circuits, which also
+// bounds the work to O(len(bits)) for absurd depths from hostile input.
 func interleave(bits channel.Bits, depth int) channel.Bits {
-	if depth == 1 || len(bits) == 0 {
+	if depth == 1 || len(bits) == 0 || depth >= len(bits) {
 		return append(channel.Bits{}, bits...)
 	}
 	cols := (len(bits) + depth - 1) / depth
@@ -106,7 +108,7 @@ func interleave(bits channel.Bits, depth int) channel.Bits {
 
 // deinterleave inverts interleave for the same depth and length.
 func deinterleave(bits channel.Bits, depth int) channel.Bits {
-	if depth == 1 || len(bits) == 0 {
+	if depth == 1 || len(bits) == 0 || depth >= len(bits) {
 		return append(channel.Bits{}, bits...)
 	}
 	cols := (len(bits) + depth - 1) / depth
@@ -129,9 +131,32 @@ func deinterleave(bits channel.Bits, depth int) channel.Bits {
 // matches).
 var Sync = channel.Bits{1, 1, 0, 1, 0, 0, 1, 0}
 
-// Frame wraps data bytes for one transmission: sync header, 8-bit length,
-// ECC-protected payload, and an ECC-protected 8-bit additive checksum.
+// crc8 computes CRC-8 (polynomial 0x07, init 0, MSB-first — the
+// CRC-8/SMBus parameters) over data. Unlike the additive checksum it
+// replaces, it detects all two-bit errors within the frame and any pair
+// of byte errors that cancel additively (e.g. swapped bytes).
+func crc8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Frame wraps data bytes for one transmission: sync header, then an
+// ECC-protected body of sequence number, 8-bit length, payload, and a
+// CRC-8 over all three.
 type Frame struct {
+	// Seq is the stop-and-wait sequence number; the receiver uses it
+	// to discard duplicates after a lost acknowledgement.
+	Seq  byte
 	Data []byte
 	// Depth is the interleave depth used on the wire.
 	Depth int
@@ -146,16 +171,13 @@ func (f Frame) Bits() (channel.Bits, error) {
 	if depth <= 0 {
 		depth = 4
 	}
-	var sum byte
-	for _, b := range f.Data {
-		sum += b
-	}
 	// Build the body in a fresh buffer: appending to f.Data directly
-	// would scribble the checksum into the caller's backing array.
-	body := make([]byte, 0, len(f.Data)+2)
+	// would scribble the trailer into the caller's backing array.
+	body := make([]byte, 0, len(f.Data)+3)
+	body = append(body, f.Seq)
 	body = append(body, byte(len(f.Data)))
 	body = append(body, f.Data...)
-	body = append(body, sum)
+	body = append(body, crc8(body))
 	out := append(channel.Bits{}, Sync...)
 	return append(out, Encode(channel.FromBytes(body), depth)...), nil
 }
@@ -163,18 +185,20 @@ func (f Frame) Bits() (channel.Bits, error) {
 // WireLength returns the number of raw channel bits a frame of n data
 // bytes occupies at the given interleave depth.
 func WireLength(n, depth int) int {
-	body := (n + 2) * 8 // length byte + data + checksum
+	body := (n + 3) * 8 // seq + length byte + data + CRC-8
 	return len(Sync) + (body+3)/4*7
 }
 
-// Deframe parses received raw bits back into the data bytes. It verifies
-// the sync header and checksum and reports the ECC correction count.
-func Deframe(raw channel.Bits, depth int) (data []byte, corrections int, err error) {
+// Deframe parses received raw bits back into the data bytes and the
+// frame's sequence number. It verifies the sync header and the CRC and
+// reports the ECC correction count (which it returns even on error, so
+// callers can track the correction rate of failing links).
+func Deframe(raw channel.Bits, depth int) (data []byte, seq byte, corrections int, err error) {
 	if depth <= 0 {
 		depth = 4
 	}
 	if len(raw) < len(Sync) {
-		return nil, 0, fmt.Errorf("link: frame shorter than the sync header")
+		return nil, 0, 0, fmt.Errorf("link: frame shorter than the sync header")
 	}
 	mismatches := 0
 	for i, b := range Sync {
@@ -185,32 +209,29 @@ func Deframe(raw channel.Bits, depth int) (data []byte, corrections int, err err
 	// The header is not ECC-protected; tolerate one flipped bit, as a
 	// correlating receiver would.
 	if mismatches > 1 {
-		return nil, 0, fmt.Errorf("link: sync header mismatch (%d bits)", mismatches)
+		return nil, 0, 0, fmt.Errorf("link: sync header mismatch (%d bits)", mismatches)
 	}
 	body, corrections, err := Decode(raw[len(Sync):], (len(raw)-len(Sync))/7*4, depth)
 	if err != nil {
-		return nil, corrections, err
+		return nil, 0, corrections, err
 	}
 	// Trim the nibble padding down to whole bytes.
 	body = body[:len(body)/8*8]
 	bytes, err := body.ToBytes()
 	if err != nil {
-		return nil, corrections, err
+		return nil, 0, corrections, err
 	}
-	if len(bytes) < 2 {
-		return nil, corrections, fmt.Errorf("link: frame body too short")
+	if len(bytes) < 3 {
+		return nil, 0, corrections, fmt.Errorf("link: frame body too short")
 	}
-	n := int(bytes[0])
-	if len(bytes) < 2+n {
-		return nil, corrections, fmt.Errorf("link: frame claims %d bytes, carries %d", n, len(bytes)-2)
+	seq = bytes[0]
+	n := int(bytes[1])
+	if len(bytes) < 3+n {
+		return nil, seq, corrections, fmt.Errorf("link: frame claims %d bytes, carries %d", n, len(bytes)-3)
 	}
-	data = bytes[1 : 1+n]
-	var sum byte
-	for _, b := range data {
-		sum += b
+	data = bytes[2 : 2+n]
+	if crc8(bytes[:2+n]) != bytes[2+n] {
+		return nil, seq, corrections, fmt.Errorf("link: CRC mismatch")
 	}
-	if sum != bytes[1+n] {
-		return nil, corrections, fmt.Errorf("link: checksum mismatch")
-	}
-	return data, corrections, nil
+	return data, seq, corrections, nil
 }

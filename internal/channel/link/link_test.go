@@ -90,7 +90,7 @@ func TestInterleaveDispersesBursts(t *testing.T) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	data := []byte("uncore encore")
-	f := Frame{Data: data, Depth: 4}
+	f := Frame{Seq: 42, Data: data, Depth: 4}
 	bits, err := f.Bits()
 	if err != nil {
 		t.Fatal(err)
@@ -98,12 +98,15 @@ func TestFrameRoundTrip(t *testing.T) {
 	if len(bits) != WireLength(len(data), 4) {
 		t.Errorf("wire length %d, want %d", len(bits), WireLength(len(data), 4))
 	}
-	back, corrections, err := Deframe(bits, 4)
+	back, seq, corrections, err := Deframe(bits, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if corrections != 0 {
 		t.Errorf("clean frame needed %d corrections", corrections)
+	}
+	if seq != 42 {
+		t.Errorf("sequence number %d, want 42", seq)
 	}
 	if string(back) != string(data) {
 		t.Errorf("deframed %q", back)
@@ -120,7 +123,7 @@ func TestFrameSurvivesScatteredErrors(t *testing.T) {
 	for _, pos := range []int{len(Sync) + 3, len(Sync) + 40, len(Sync) + 77} {
 		bits[pos] ^= 1
 	}
-	back, corrections, err := Deframe(bits, 4)
+	back, _, corrections, err := Deframe(bits, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,20 +138,20 @@ func TestFrameSurvivesScatteredErrors(t *testing.T) {
 func TestFrameDetectsGarbage(t *testing.T) {
 	rng := sim.NewRand(3)
 	// A dead channel decoding constant bits must not produce a frame.
-	if _, _, err := Deframe(make(channel.Bits, 120), 4); err == nil {
+	if _, _, _, err := Deframe(make(channel.Bits, 120), 4); err == nil {
 		t.Error("all-zero stream deframed")
 	}
 	ones := make(channel.Bits, 120)
 	for i := range ones {
 		ones[i] = 1
 	}
-	if _, _, err := Deframe(ones, 4); err == nil {
+	if _, _, _, err := Deframe(ones, 4); err == nil {
 		t.Error("all-one stream deframed")
 	}
-	// Random noise should essentially never pass sync + checksum.
+	// Random noise should essentially never pass sync + CRC.
 	passed := 0
 	for trial := 0; trial < 200; trial++ {
-		if _, _, err := Deframe(channel.RandomBits(rng, 120), 4); err == nil {
+		if _, _, _, err := Deframe(channel.RandomBits(rng, 120), 4); err == nil {
 			passed++
 		}
 	}
@@ -161,11 +164,122 @@ func TestFrameValidation(t *testing.T) {
 	if _, err := (Frame{Data: make([]byte, 256)}).Bits(); err == nil {
 		t.Error("oversized frame accepted")
 	}
-	if _, _, err := Deframe(channel.Bits{1, 0}, 4); err == nil {
+	if _, _, _, err := Deframe(channel.Bits{1, 0}, 4); err == nil {
 		t.Error("truncated frame accepted")
 	}
 	if _, _, err := Decode(channel.Bits{1, 0, 1}, 2, 4); err == nil {
 		t.Error("non-codeword length accepted")
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// The CRC-8/SMBus check value.
+	if got := crc8([]byte("123456789")); got != 0xF4 {
+		t.Errorf("crc8(\"123456789\") = %#02x, want 0xF4", got)
+	}
+	if got := crc8(nil); got != 0 {
+		t.Errorf("crc8(nil) = %#02x, want 0", got)
+	}
+}
+
+// forgeFrame hand-assembles wire bits for a frame body whose trailer
+// byte was computed over original, while the body carries corrupted —
+// exactly the residue a channel error leaves when the error detector
+// cannot tell the two payloads apart.
+func forgeFrame(t *testing.T, corrupted, original []byte, depth int) channel.Bits {
+	t.Helper()
+	if len(corrupted) != len(original) {
+		t.Fatal("forged payloads must have equal length")
+	}
+	trailer := crc8(append([]byte{0, byte(len(original))}, original...))
+	body := append([]byte{0, byte(len(corrupted))}, corrupted...)
+	body = append(body, trailer)
+	bits := append(channel.Bits{}, Sync...)
+	return append(bits, Encode(channel.FromBytes(body), depth)...)
+}
+
+// TestCRCDetectsAdditivelyCancellingErrors covers the undetected-error
+// classes of the additive checksum this layer used to ship: byte pairs
+// whose errors cancel in a modular sum (swaps, +1/-1 pairs) passed the
+// old check unchallenged; CRC-8 must reject them.
+func TestCRCDetectsAdditivelyCancellingErrors(t *testing.T) {
+	cases := []struct {
+		name                string
+		original, corrupted string
+	}{
+		{"swapped bytes", "AB", "BA"},
+		{"plus-minus pair", "AC", "BB"},
+		{"swap inside longer payload", "secret", "secert"},
+		{"cancelling far apart", "q0...9z", "p0...9{"},
+	}
+	for _, c := range cases {
+		var so, sc byte
+		for i := range c.original {
+			so += c.original[i]
+			sc += c.corrupted[i]
+		}
+		if so != sc {
+			t.Fatalf("%s: case does not cancel additively (%#02x vs %#02x)", c.name, so, sc)
+		}
+		bits := forgeFrame(t, []byte(c.corrupted), []byte(c.original), 4)
+		if _, _, _, err := Deframe(bits, 4); err == nil {
+			t.Errorf("%s: additively-cancelling corruption %q→%q not detected",
+				c.name, c.original, c.corrupted)
+		}
+	}
+	// Control: the unforged frame passes.
+	bits := forgeFrame(t, []byte("AB"), []byte("AB"), 4)
+	if _, _, _, err := Deframe(bits, 4); err != nil {
+		t.Errorf("control frame rejected: %v", err)
+	}
+}
+
+func TestInterleaveRoundTripOddLengths(t *testing.T) {
+	rng := sim.NewRand(7)
+	cases := []struct{ n, depth int }{
+		{1, 4}, {2, 4}, {3, 2}, {5, 4}, {7, 3}, {13, 5},
+		{26, 8}, {31, 7}, {95, 6}, {97, 4}, {100, 9}, {7, 100},
+	}
+	for _, c := range cases {
+		bits := channel.RandomBits(rng, c.n)
+		il := interleave(bits, c.depth)
+		if len(il) != c.n {
+			t.Errorf("n=%d depth=%d: interleave changed length to %d", c.n, c.depth, len(il))
+			continue
+		}
+		back := deinterleave(il, c.depth)
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Errorf("n=%d depth=%d: bit %d mangled", c.n, c.depth, i)
+				break
+			}
+		}
+	}
+}
+
+func TestDecodePayloadNotMultipleOfFour(t *testing.T) {
+	rng := sim.NewRand(8)
+	for _, n := range []int{1, 2, 3, 5, 6, 7, 9, 13, 17, 30, 33} {
+		for _, depth := range []int{1, 2, 4, 7} {
+			bits := channel.RandomBits(rng, n)
+			coded := Encode(bits, depth)
+			back, corrections, err := Decode(coded, n, depth)
+			if err != nil {
+				t.Fatalf("n=%d depth=%d: %v", n, depth, err)
+			}
+			if corrections != 0 {
+				t.Errorf("n=%d depth=%d: clean decode reported %d corrections", n, depth, corrections)
+			}
+			if len(back) != n {
+				t.Fatalf("n=%d depth=%d: decoded %d bits", n, depth, len(back))
+			}
+			for i := range bits {
+				if back[i] != bits[i] {
+					t.Errorf("n=%d depth=%d: bit %d mangled", n, depth, i)
+					break
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,51 @@
+package link
+
+import (
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// LoopbackPhy is a zero-latency Phy whose medium is a corruption
+// function: ideal for unit-testing the ARQ machine against controlled
+// fault processes without a simulated platform. Pilot transmissions are
+// counted but carry no preamble (a loopback needs no calibration).
+type LoopbackPhy struct {
+	// Corrupt post-processes transmitted bits; nil is a clean wire.
+	// The interval lets fault processes modulate with the rate (a
+	// slower channel averages more noise per bit).
+	Corrupt func(bits channel.Bits, interval sim.Time) channel.Bits
+	// AckLoss drops the reverse-channel verdict when it returns true;
+	// nil is a reliable reverse channel.
+	AckLoss func() bool
+
+	// Transmissions and Pilots count Transmit calls; Idled sums the
+	// backoff the transport requested.
+	Transmissions, Pilots int
+	Idled                 sim.Time
+}
+
+// Transmit implements Phy.
+func (p *LoopbackPhy) Transmit(bits channel.Bits, interval sim.Time, pilot bool) (channel.Bits, error) {
+	p.Transmissions++
+	if pilot {
+		p.Pilots++
+	}
+	if p.Corrupt == nil {
+		return append(channel.Bits{}, bits...), nil
+	}
+	return p.Corrupt(append(channel.Bits{}, bits...), interval), nil
+}
+
+// Feedback implements Phy.
+func (p *LoopbackPhy) Feedback(ack bool) bool {
+	if !ack {
+		return false
+	}
+	if p.AckLoss != nil && p.AckLoss() {
+		return false
+	}
+	return true
+}
+
+// Idle implements Idler.
+func (p *LoopbackPhy) Idle(d sim.Time) { p.Idled += d }

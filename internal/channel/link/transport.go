@@ -1,0 +1,275 @@
+// Transport grows the link layer into a reliable byte stream: framed
+// stop-and-wait ARQ with sequence numbers over any bit-pipe that can
+// carry a frame and a one-bit acknowledgement. One corrupted frame is no
+// longer lost — it is NACKed and retransmitted with backoff, the decoder
+// is recalibrated from a pilot when the Hamming correction rate says the
+// references have drifted, and when a rate is genuinely unusable the
+// transport doubles the bit interval instead of failing outright (the
+// adaptive fallback that frequency channels under co-located load need;
+// cf. the paper's §4.3.3 and the BER cliffs TurboCC and IChannels report
+// under interference).
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// Phy is the raw bit pipe under the transport: one covert-channel
+// transmission plus the reverse (acknowledgement) channel. The
+// simulator's implementation is ufvariation.LinkPhy; tests use
+// LoopbackPhy.
+type Phy interface {
+	// Transmit sends raw frame bits at the given per-bit interval and
+	// returns the bits the receiver captured. pilot asks the sender to
+	// prefix a known calibration preamble from which the receiver
+	// rederives its decoding references.
+	Transmit(bits channel.Bits, interval sim.Time, pilot bool) (channel.Bits, error)
+	// Feedback carries the receiver's verdict for the last frame back
+	// over the reverse channel and returns the verdict as the sender
+	// observes it: true only for a positive acknowledgement that
+	// actually arrived. A lost acknowledgement reads as false, so the
+	// sender retransmits and the receiver deduplicates by sequence
+	// number.
+	Feedback(ack bool) bool
+}
+
+// Idler is implemented by phys whose medium has real time; the transport
+// idles through it during retransmission backoff so the platform (and
+// any interference burst) can settle.
+type Idler interface {
+	Idle(d sim.Time)
+}
+
+// TransportConfig tunes the ARQ machine. The zero value of any field
+// falls back to the DefaultTransportConfig value.
+type TransportConfig struct {
+	// ChunkSize is the data bytes per frame.
+	ChunkSize int
+	// Depth is the interleave depth on the wire.
+	Depth int
+	// Interval is the starting per-bit interval; MaxInterval bounds
+	// the rate fallback (the interval doubles on repeated NACKs and
+	// never exceeds it).
+	Interval, MaxInterval sim.Time
+	// RetriesPerRate is how many times one frame is retransmitted at a
+	// given bit interval before the transport degrades the rate.
+	RetriesPerRate int
+	// BackoffBits is the base retransmission backoff, measured in bit
+	// intervals; it doubles with each consecutive retry of a frame.
+	BackoffBits int
+	// RecalCorrectionRate is the Hamming correction rate (corrections
+	// per codeword) above which the next transmission is preceded by a
+	// calibration pilot.
+	RecalCorrectionRate float64
+}
+
+// DefaultTransportConfig returns the configuration used by the
+// reliability experiment: the paper's peak-capacity cross-core interval
+// with four rate-halving steps of headroom.
+func DefaultTransportConfig() TransportConfig {
+	return TransportConfig{
+		ChunkSize:           6,
+		Depth:               4,
+		Interval:            21 * sim.Millisecond,
+		MaxInterval:         336 * sim.Millisecond,
+		RetriesPerRate:      3,
+		BackoffBits:         2,
+		RecalCorrectionRate: 0.15,
+	}
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	d := DefaultTransportConfig()
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = d.ChunkSize
+	}
+	if c.Depth <= 0 {
+		c.Depth = d.Depth
+	}
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = d.MaxInterval
+	}
+	if c.MaxInterval < c.Interval {
+		c.MaxInterval = c.Interval
+	}
+	if c.RetriesPerRate <= 0 {
+		c.RetriesPerRate = d.RetriesPerRate
+	}
+	if c.BackoffBits <= 0 {
+		c.BackoffBits = d.BackoffBits
+	}
+	if c.RecalCorrectionRate <= 0 {
+		c.RecalCorrectionRate = d.RecalCorrectionRate
+	}
+	return c
+}
+
+// FrameStats records one frame's fate.
+type FrameStats struct {
+	// Seq is the frame's sequence number; Bytes its payload size.
+	Seq   byte
+	Bytes int
+	// Attempts is the total number of transmissions (1 = no
+	// retransmission); Nacks how many failed to deframe.
+	Attempts, Nacks int
+	// Corrections is the total ECC corrections across all attempts.
+	Corrections int
+	// Pilots is how many attempts carried a recalibration preamble.
+	Pilots int
+	// Interval is the bit interval at which the frame was delivered.
+	Interval sim.Time
+	// Delivered is false only for a frame abandoned at the lowest rate.
+	Delivered bool
+}
+
+// TransportStats aggregates a Send call.
+type TransportStats struct {
+	Frames []FrameStats
+	// Transmissions counts every frame put on the air;
+	// Retransmissions the subset beyond each frame's first attempt.
+	Transmissions, Retransmissions int
+	// Corrections is the total ECC corrections absorbed.
+	Corrections int
+	// Duplicates counts frames the receiver discarded by sequence
+	// number after a lost acknowledgement; AckLosses the lost
+	// acknowledgements themselves.
+	Duplicates, AckLosses int
+	// Recalibrations counts pilot transmissions; Degradations counts
+	// bit-interval doublings.
+	Recalibrations, Degradations int
+	// BitsOnAir is the raw frame bits transmitted (excluding pilots
+	// and acknowledgements); BackoffBits the idle bit intervals spent
+	// in retransmission backoff.
+	BitsOnAir, BackoffBits int
+}
+
+// Transport is a stop-and-wait ARQ sender/receiver pair over one Phy.
+// The adaptive state (current bit interval, pending recalibration)
+// persists across Send calls.
+type Transport struct {
+	cfg         TransportConfig
+	phy         Phy
+	interval    sim.Time
+	pilotWanted bool
+}
+
+// NewTransport returns a transport over phy. Zero config fields take
+// defaults.
+func NewTransport(phy Phy, cfg TransportConfig) *Transport {
+	cfg = cfg.withDefaults()
+	return &Transport{cfg: cfg, phy: phy, interval: cfg.Interval}
+}
+
+// Interval returns the current per-bit interval (grows under
+// degradation, persists across Send calls).
+func (t *Transport) Interval() sim.Time { return t.interval }
+
+// Send transfers data frame by frame and returns the bytes the receiver
+// assembled plus the run's statistics. On an undeliverable frame (all
+// retries exhausted at the maximum interval) it returns the prefix
+// delivered so far and an error; every other failure mode degrades the
+// rate instead of erroring.
+func (t *Transport) Send(data []byte) ([]byte, TransportStats, error) {
+	var stats TransportStats
+	var out []byte
+	seq := byte(0)
+	for off := 0; off < len(data); {
+		end := off + t.cfg.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		fs := FrameStats{Seq: seq, Bytes: end - off}
+		delivered := false // receiver-side: frame content accepted
+		retries := 0       // attempts at the current rate
+		streak := 0        // consecutive failures of this frame
+		for {
+			fs.Attempts++
+			stats.Transmissions++
+			if fs.Attempts > 1 {
+				stats.Retransmissions++
+			}
+			pilot := t.pilotWanted
+			t.pilotWanted = false
+			if pilot {
+				fs.Pilots++
+				stats.Recalibrations++
+			}
+			bits, err := Frame{Seq: seq, Data: data[off:end], Depth: t.cfg.Depth}.Bits()
+			if err != nil {
+				return out, stats, err
+			}
+			rx, err := t.phy.Transmit(bits, t.interval, pilot)
+			if err != nil {
+				return out, stats, err
+			}
+			stats.BitsOnAir += len(bits)
+			got, rseq, corr, derr := Deframe(rx, t.cfg.Depth)
+			fs.Corrections += corr
+			stats.Corrections += corr
+			if cw := (len(rx) - len(Sync)) / 7; cw > 0 &&
+				float64(corr)/float64(cw) > t.cfg.RecalCorrectionRate {
+				// The code is absorbing errors at a rate that says the
+				// decoder's references have drifted: recalibrate before
+				// the next transmission.
+				t.pilotWanted = true
+			}
+			ok := derr == nil && rseq == seq
+			if ok && delivered {
+				// Duplicate after a lost acknowledgement: the receiver
+				// recognises the sequence number, discards the copy,
+				// and acknowledges again.
+				stats.Duplicates++
+			}
+			ackSeen := t.phy.Feedback(ok)
+			if ok {
+				if !delivered {
+					delivered = true
+					out = append(out, got...)
+				}
+				if ackSeen {
+					fs.Delivered = true
+					fs.Interval = t.interval
+					break
+				}
+				stats.AckLosses++
+			} else {
+				fs.Nacks++
+			}
+			// Retransmission path: back off, and degrade the rate when
+			// the current one keeps failing.
+			retries++
+			streak++
+			if retries > t.cfg.RetriesPerRate {
+				if t.interval*2 > t.cfg.MaxInterval {
+					stats.Frames = append(stats.Frames, fs)
+					return out, stats, fmt.Errorf("link: frame %d undeliverable after %d attempts (interval %v)",
+						seq, fs.Attempts, t.interval)
+				}
+				t.interval *= 2
+				stats.Degradations++
+				// New rate, new latency statistics: recalibrate.
+				t.pilotWanted = true
+				retries = 0
+			}
+			shift := streak - 1
+			if shift > 4 {
+				shift = 4
+			}
+			bo := t.cfg.BackoffBits << uint(shift)
+			stats.BackoffBits += bo
+			if idler, isIdler := t.phy.(Idler); isIdler {
+				idler.Idle(sim.Time(bo) * t.interval)
+			}
+		}
+		stats.Frames = append(stats.Frames, fs)
+		off = end
+		seq++
+	}
+	return out, stats, nil
+}

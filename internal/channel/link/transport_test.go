@@ -1,0 +1,224 @@
+package link
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// noisyWire returns a corruption function flipping each bit with
+// probability p, drawn deterministically from seed.
+func noisyWire(seed uint64, p float64) func(channel.Bits, sim.Time) channel.Bits {
+	rng := sim.NewRand(seed)
+	return func(bits channel.Bits, _ sim.Time) channel.Bits {
+		for i := range bits {
+			if rng.Bool(p) {
+				bits[i] ^= 1
+			}
+		}
+		return bits
+	}
+}
+
+func TestTransportCleanWire(t *testing.T) {
+	phy := &LoopbackPhy{}
+	tr := NewTransport(phy, TransportConfig{ChunkSize: 5})
+	payload := []byte("a clean wire needs no ARQ at all")
+	got, stats, err := tr.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %q", got)
+	}
+	wantFrames := (len(payload) + 4) / 5
+	if len(stats.Frames) != wantFrames {
+		t.Errorf("%d frames, want %d", len(stats.Frames), wantFrames)
+	}
+	if stats.Retransmissions != 0 || stats.Degradations != 0 || stats.Recalibrations != 0 {
+		t.Errorf("clean wire produced retrans=%d degrade=%d recal=%d",
+			stats.Retransmissions, stats.Degradations, stats.Recalibrations)
+	}
+	if stats.Transmissions != wantFrames {
+		t.Errorf("%d transmissions for %d frames", stats.Transmissions, wantFrames)
+	}
+}
+
+func TestTransportSurvivesNoisyWire(t *testing.T) {
+	phy := &LoopbackPhy{Corrupt: noisyWire(11, 0.02)}
+	tr := NewTransport(phy, TransportConfig{ChunkSize: 6})
+	payload := []byte("retransmission turns a lossy link into a reliable one, eventually")
+	got, stats, err := tr.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %q, want %q", got, payload)
+	}
+	if stats.Corrections == 0 {
+		t.Error("a 2% wire exercised no ECC corrections")
+	}
+	for _, fs := range stats.Frames {
+		if !fs.Delivered {
+			t.Errorf("frame %d not delivered", fs.Seq)
+		}
+	}
+}
+
+// TestTransportReproducible: the same seeds must yield bit-for-bit
+// identical transcripts — the property every faulted experiment relies
+// on.
+func TestTransportReproducible(t *testing.T) {
+	run := func() ([]byte, TransportStats) {
+		ackRng := sim.NewRand(99)
+		phy := &LoopbackPhy{
+			Corrupt: noisyWire(12, 0.04),
+			AckLoss: func() bool { return ackRng.Bool(0.2) },
+		}
+		tr := NewTransport(phy, TransportConfig{ChunkSize: 4})
+		got, stats, err := tr.Send([]byte("deterministic faults, deterministic recovery"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, stats
+	}
+	got1, stats1 := run()
+	got2, stats2 := run()
+	if !bytes.Equal(got1, got2) {
+		t.Error("same seed, different payloads")
+	}
+	if !reflect.DeepEqual(stats1, stats2) {
+		t.Errorf("same seed, different transcripts:\n%+v\n%+v", stats1, stats2)
+	}
+}
+
+// TestTransportDegradesRateInsteadOfFailing: a wire unusable at the
+// starting interval but clean once the interval has doubled twice must
+// be survived by rate fallback, not an error.
+func TestTransportDegradesRateInsteadOfFailing(t *testing.T) {
+	base := 21 * sim.Millisecond
+	rng := sim.NewRand(13)
+	phy := &LoopbackPhy{
+		Corrupt: func(bits channel.Bits, interval sim.Time) channel.Bits {
+			if interval >= 4*base {
+				return bits // slow enough: clean
+			}
+			for i := range bits {
+				if rng.Bool(0.3) {
+					bits[i] ^= 1
+				}
+			}
+			return bits
+		},
+	}
+	tr := NewTransport(phy, TransportConfig{ChunkSize: 8, Interval: base, MaxInterval: 16 * base})
+	payload := []byte("slow but delivered")
+	got, stats, err := tr.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %q", got)
+	}
+	if stats.Degradations < 2 {
+		t.Errorf("%d degradations, want ≥2 (wire only usable at 4× interval)", stats.Degradations)
+	}
+	if tr.Interval() < 4*base {
+		t.Errorf("final interval %v, want ≥ %v", tr.Interval(), 4*base)
+	}
+	if stats.Recalibrations == 0 {
+		t.Error("rate fallback should have requested a pilot recalibration")
+	}
+	if stats.BackoffBits == 0 || phy.Idled == 0 {
+		t.Error("retransmissions should have backed off through the phy")
+	}
+}
+
+// TestTransportUndeliverableFrame: with no fallback headroom and a dead
+// wire, Send must return the delivered prefix and an error.
+func TestTransportUndeliverableFrame(t *testing.T) {
+	phy := &LoopbackPhy{
+		Corrupt: func(bits channel.Bits, _ sim.Time) channel.Bits {
+			for i := range bits {
+				bits[i] = 0
+			}
+			return bits
+		},
+	}
+	iv := 21 * sim.Millisecond
+	tr := NewTransport(phy, TransportConfig{Interval: iv, MaxInterval: iv, RetriesPerRate: 2})
+	got, stats, err := tr.Send([]byte("void"))
+	if err == nil {
+		t.Fatal("dead wire delivered")
+	}
+	if len(got) != 0 {
+		t.Errorf("dead wire produced %q", got)
+	}
+	if stats.Transmissions != 3 { // 1 + RetriesPerRate
+		t.Errorf("%d transmissions before giving up, want 3", stats.Transmissions)
+	}
+}
+
+// TestTransportAckLossDeduplicates: a delivered frame whose ACK is lost
+// is retransmitted; the receiver must discard the duplicate by sequence
+// number so the payload is not doubled.
+func TestTransportAckLossDeduplicates(t *testing.T) {
+	lost := false
+	phy := &LoopbackPhy{
+		AckLoss: func() bool {
+			if !lost {
+				lost = true
+				return true
+			}
+			return false
+		},
+	}
+	tr := NewTransport(phy, TransportConfig{ChunkSize: 16})
+	payload := []byte("exactly once")
+	got, stats, err := tr.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %q, want %q (duplicate not discarded?)", got, payload)
+	}
+	if stats.AckLosses != 1 || stats.Duplicates != 1 {
+		t.Errorf("ackLosses=%d duplicates=%d, want 1/1", stats.AckLosses, stats.Duplicates)
+	}
+	if stats.Frames[0].Attempts != 2 {
+		t.Errorf("frame took %d attempts, want 2", stats.Frames[0].Attempts)
+	}
+}
+
+// TestTransportConcurrentRunsAreIndependent runs several transports in
+// parallel (the shape of concurrent experiment sweeps); under -race this
+// also proves the package keeps no shared mutable state.
+func TestTransportConcurrentRunsAreIndependent(t *testing.T) {
+	payload := []byte("no shared state between concurrent channel stacks")
+	var wg sync.WaitGroup
+	results := make([][]byte, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			phy := &LoopbackPhy{Corrupt: noisyWire(uint64(100+i), 0.03)}
+			tr := NewTransport(phy, TransportConfig{ChunkSize: 7})
+			got, _, err := tr.Send(payload)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = got
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if !bytes.Equal(got, payload) {
+			t.Errorf("run %d received %q", i, got)
+		}
+	}
+}

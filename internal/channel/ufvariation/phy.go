@@ -1,0 +1,96 @@
+package ufvariation
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// LinkPhy adapts one live machine to link.Phy, so the link layer's
+// Transport can run frame-by-frame ARQ over the UF-variation channel.
+// Successive transmissions share the machine: virtual time, governor
+// state, and any attached fault processes carry across frames, exactly
+// as a long-running exfiltration would experience them.
+//
+// The adapter stays independent of the fault injector: the Corrupt and
+// AckLoss hooks are plain functions, which experiments wire to
+// faults.Injector methods (or anything else).
+type LinkPhy struct {
+	// M is the platform; Cfg the channel deployment. Cfg.Interval and
+	// Cfg.OnlineCalibration are overridden per transmission by the
+	// transport's rate and pilot decisions.
+	M   *system.Machine
+	Cfg Config
+	// Corrupt optionally applies a channel-boundary fault process to
+	// the received bits (e.g. faults.Injector.CorruptBits).
+	Corrupt func(channel.Bits) channel.Bits
+	// AckLoss optionally models reverse-channel loss (e.g.
+	// faults.Injector.AckLost).
+	AckLoss func() bool
+	// AckBits is the reverse channel's cost in bit intervals per
+	// verdict (the acknowledgement is itself a tiny covert
+	// transmission); zero means 4.
+	AckBits int
+
+	// RawErrors and RawBits accumulate the raw-channel error count
+	// under the transport, before ECC — the residual-vs-raw comparison
+	// the reliability experiment reports.
+	RawErrors, RawBits int
+
+	interval sim.Time
+}
+
+// Transmit implements link.Phy: one UF-variation transmission of the
+// frame bits at the given interval, with the calibration preamble
+// prepended when the transport requests a pilot.
+func (p *LinkPhy) Transmit(bits channel.Bits, interval sim.Time, pilot bool) (channel.Bits, error) {
+	if p.M == nil {
+		return nil, fmt.Errorf("ufvariation: LinkPhy has no machine")
+	}
+	cfg := p.Cfg
+	cfg.Interval = interval
+	cfg.OnlineCalibration = pilot
+	res, err := Run(p.M, cfg, bits)
+	if err != nil {
+		return nil, err
+	}
+	p.interval = interval
+	rx := res.Received
+	if p.Corrupt != nil {
+		rx = p.Corrupt(rx)
+	}
+	for i := range bits {
+		p.RawBits++
+		if i < len(rx) && rx[i] != bits[i] {
+			p.RawErrors++
+		}
+	}
+	return rx, nil
+}
+
+// Feedback implements link.Phy. The verdict rides the reverse channel
+// for AckBits bit intervals of air time; a faulted reverse channel can
+// lose a positive acknowledgement, which the sender observes as a
+// timeout (false).
+func (p *LinkPhy) Feedback(ack bool) bool {
+	n := p.AckBits
+	if n <= 0 {
+		n = 4
+	}
+	if p.interval > 0 {
+		p.M.Run(sim.Time(n) * p.interval)
+	}
+	if !ack {
+		return false
+	}
+	if p.AckLoss != nil && p.AckLoss() {
+		return false
+	}
+	return true
+}
+
+// Idle implements link.Idler: backoff lets the platform (and any
+// interference burst) settle in real machine time.
+func (p *LinkPhy) Idle(d sim.Time) { p.M.Run(d) }

@@ -22,6 +22,7 @@ package ufvariation
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/channel"
@@ -205,6 +206,11 @@ func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
 	if measure {
 		for i := 0; i < w.per && ctx.Remaining() > 0; i++ {
 			lat := ctx.TimedAccess(w.lines[i%len(w.lines)])
+			if math.IsNaN(lat) {
+				// An injected fault stole the sample (interrupt inside
+				// the timing bracket); the receiver discards it.
+				continue
+			}
 			if sum != nil {
 				*sum += lat
 				*cnt++

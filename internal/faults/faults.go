@@ -1,0 +1,349 @@
+// Package faults is a deterministic, seed-reproducible fault injector
+// for the simulated platform. The paper's §4.3.3 reliability study
+// perturbs the channel with stress-ng bursts on sender, receiver, and
+// third-party cores; related frequency channels (TurboCC, IChannels)
+// report the same sharp BER cliffs under co-located load. This package
+// generalises that noise into a composable fault model that any
+// experiment can attach to a machine:
+//
+//   - Co-runner activity bursts: a Gilbert–Elliott good/bad process,
+//     advanced by a sim.Engine ticker, gates stalling co-runner threads
+//     (internal/workload stressors) on and off. Bursts stall extra
+//     cores, so the governor's stall rule pins the frequency and "0"
+//     intervals decode as "1"s — the paper's dominant corruption mode.
+//   - Governor decision faults: phase drift (the PCU's decision point
+//     sliding relative to the epoch boundary, modelled as periodically
+//     held decisions) and decision jitter (randomly held epochs),
+//     installed through ufs.Governor.SetFault.
+//   - Measurement-path faults: receiver sample drops (an interrupt
+//     inside the rdtscp bracket loses the measurement) and
+//     OS-preemption gaps (an involuntary context switch steals part of
+//     a quantum), installed through system.Machine.SetFaults.
+//   - Channel-boundary erasures: a second, per-bit Gilbert–Elliott
+//     process erases transmitted bits (the receiver reads noise), via
+//     CorruptBits on the decoded bit stream.
+//   - Feedback loss: the reverse (ACK) channel loses a verdict with a
+//     configurable probability, via AckLost.
+//
+// Everything draws from sim.Rand streams split off one parent, so a
+// faulted run is bit-for-bit reproducible from its seed. One Injector
+// drives one machine; injectors for different machines are independent
+// and may run concurrently.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/ufs"
+	"repro/internal/workload"
+)
+
+// GilbertElliott is a two-state burst process: long quiet stretches in
+// the good state, clustered trouble in the bad state. The per-step
+// transition probabilities set the burst frequency and length.
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are the per-step transition
+	// probabilities.
+	PGoodToBad, PBadToGood float64
+}
+
+// step advances the chain one step and returns the new state.
+func (g GilbertElliott) step(bad bool, rng *sim.Rand) bool {
+	if bad {
+		return !rng.Bool(g.PBadToGood)
+	}
+	return rng.Bool(g.PGoodToBad)
+}
+
+// Config describes one fault mix. The zero value injects nothing;
+// DefaultConfig scales a representative mix by a single intensity knob.
+type Config struct {
+	// Intensity records the master knob the config was scaled from
+	// (diagnostics only; the individual fields are what act).
+	Intensity float64
+
+	// Burst is the co-runner activity process, advanced every
+	// BurstStep of virtual time.
+	Burst     GilbertElliott
+	BurstStep sim.Time
+	// CoRunners is how many gated stalling threads to spawn; they run
+	// only while the burst process is in the bad state.
+	CoRunners int
+	// CoRunnerSocket hosts the co-runners; they take the highest cores
+	// of the socket (the §4.3.3 "third core" placement, clear of the
+	// low-numbered channel parties).
+	CoRunnerSocket int
+
+	// EpochHoldProb is the per-epoch probability that a governor
+	// decision is held (decision jitter).
+	EpochHoldProb float64
+	// EpochDriftPPM is the governor decision point's phase drift in
+	// parts per million; each time the accumulated drift crosses a
+	// full epoch one decision is held and the accumulator resets.
+	EpochDriftPPM float64
+
+	// SampleDropProb is the per-measurement probability that a timed
+	// load's sample is lost.
+	SampleDropProb float64
+	// PreemptProb is the per-thread, per-quantum probability of an
+	// OS-preemption gap of PreemptGap (clamped to the quantum).
+	PreemptProb float64
+	PreemptGap  sim.Time
+
+	// Erasure is the channel-boundary bit process (advanced per bit);
+	// ErasureGood/ErasureBad are the per-bit erasure probabilities in
+	// each state. An erased bit is replaced by noise (a fair coin).
+	Erasure     GilbertElliott
+	ErasureGood float64
+	ErasureBad  float64
+
+	// AckLossProb is the probability that a reverse-channel verdict is
+	// lost in transit.
+	AckLossProb float64
+}
+
+// DefaultConfig returns a representative fault mix scaled by intensity
+// in [0, 1]: zero is a clean platform; one combines frequent co-runner
+// bursts, noticeable governor jitter, a lossy measurement path, and a
+// bursty erasure channel — enough to push the raw channel's BER well
+// past the paper's Table 2 degradation.
+func DefaultConfig(intensity float64) Config {
+	i := intensity
+	if i < 0 {
+		i = 0
+	}
+	if i > 1 {
+		i = 1
+	}
+	// The mix is deliberately weighted toward faults a slower bit rate
+	// can absorb (governor decision jitter stretches transitions by an
+	// epoch or two — fatal inside a 33 ms bit, invisible inside a 264 ms
+	// one), with the interval-independent processes (co-runner bursts,
+	// bit erasures) kept below the Hamming correction radius so the
+	// transport's rate fallback has something to fall back *to*.
+	return Config{
+		Intensity:      i,
+		Burst:          GilbertElliott{PGoodToBad: 0.015 * i, PBadToGood: 0.4},
+		BurstStep:      5 * sim.Millisecond,
+		CoRunners:      2,
+		CoRunnerSocket: 0,
+		EpochHoldProb:  0.3 * i,
+		EpochDriftPPM:  1500 * i,
+		SampleDropProb: 0.15 * i,
+		PreemptProb:    0.05 * i,
+		PreemptGap:     200 * sim.Microsecond,
+		Erasure:        GilbertElliott{PGoodToBad: 0.015 * i, PBadToGood: 0.25},
+		ErasureGood:    0.01 * i,
+		ErasureBad:     0.35 * i,
+		AckLossProb:    0.08 * i,
+	}
+}
+
+// Stats counts what the injector actually did; useful both for
+// reporting and for asserting reproducibility (equal seeds must yield
+// equal stats).
+type Stats struct {
+	// BurstSteps and BadSteps count burst-process updates and how many
+	// landed in the bad state.
+	BurstSteps, BadSteps int
+	// HeldEpochs counts governor decisions held (jitter + drift).
+	HeldEpochs int
+	// DroppedSamples and Preemptions count measurement-path faults.
+	DroppedSamples, Preemptions int
+	// ErasedBits counts channel-boundary erasures.
+	ErasedBits int
+	// LostAcks counts reverse-channel verdicts lost.
+	LostAcks int
+}
+
+// Injector drives one machine's fault processes. It is not safe for
+// concurrent use; give each machine its own injector.
+type Injector struct {
+	cfg Config
+
+	burstRng, epochRng, sampleRng, bitRng, ackRng *sim.Rand
+
+	bursting bool
+	bitBad   bool
+	stats    Stats
+	attached bool
+}
+
+// New returns an injector drawing all randomness from streams split off
+// rng. Passing the same config and an identically seeded rng reproduces
+// the exact fault sequence.
+func New(cfg Config, rng *sim.Rand) *Injector {
+	return &Injector{
+		cfg:       cfg,
+		burstRng:  rng.Split(1),
+		epochRng:  rng.Split(2),
+		sampleRng: rng.Split(3),
+		bitRng:    rng.Split(4),
+		ackRng:    rng.Split(5),
+	}
+}
+
+// Config returns the injector's fault mix.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+// Stats returns the injection counters so far.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// Bursting reports whether the co-runner burst process is in its bad
+// state.
+func (inj *Injector) Bursting() bool { return inj.bursting }
+
+// gated runs its inner workload only while the injector is bursting.
+type gated struct {
+	inj   *Injector
+	inner system.Workload
+}
+
+func (g *gated) Step(ctx *system.Ctx) system.Activity {
+	if !g.inj.bursting {
+		return system.Activity{}
+	}
+	return g.inner.Step(ctx)
+}
+
+// Attach wires the injector into m: it registers the burst-process
+// ticker, spawns the gated co-runner threads, installs the governor
+// fault hook on every socket, and installs the machine-level
+// measurement-path hook. Attach may be called once per injector.
+func (inj *Injector) Attach(m *system.Machine) error {
+	if inj.attached {
+		return fmt.Errorf("faults: injector already attached")
+	}
+	inj.attached = true
+
+	// Burst process: advance before the workload quantum so a state
+	// flip is visible to the quantum it belongs to.
+	if inj.cfg.CoRunners > 0 || inj.cfg.Burst.PGoodToBad > 0 {
+		step := inj.cfg.BurstStep
+		if step <= 0 {
+			step = 5 * sim.Millisecond
+		}
+		m.Engine().Add(&sim.Ticker{
+			Name:     "fault-burst",
+			Period:   step,
+			Priority: -10,
+			Fn: func(now sim.Time) {
+				inj.bursting = inj.cfg.Burst.step(inj.bursting, inj.burstRng)
+				inj.stats.BurstSteps++
+				if inj.bursting {
+					inj.stats.BadSteps++
+				}
+			},
+		})
+	}
+
+	// Co-runners on the highest cores of the socket, stalling a
+	// far-ish slice while bursting (the stall rule pins the uncore at
+	// the maximum, §3.2 — the §4.3.3 corruption mode).
+	if inj.cfg.CoRunners > 0 {
+		sock := inj.cfg.CoRunnerSocket
+		die := m.Socket(sock).Die
+		for i := 0; i < inj.cfg.CoRunners; i++ {
+			core := die.NumCores() - 1 - i
+			if core < 0 || m.CoreBusy(sock, core) {
+				return fmt.Errorf("faults: no free core for co-runner %d on socket %d", i, sock)
+			}
+			slice, ok := die.SliceAtHops(core, 2)
+			if !ok {
+				slice, _ = die.SliceAtHops(core, 1)
+			}
+			m.Spawn(fmt.Sprintf("fault-corunner-%d", i), sock, core, 0,
+				&gated{inj: inj, inner: &workload.Stalling{Slice: slice}})
+		}
+	}
+
+	// Governor decision faults, one drift accumulator per socket.
+	if inj.cfg.EpochHoldProb > 0 || inj.cfg.EpochDriftPPM > 0 {
+		epoch := m.Config().UFS.Epoch
+		for _, s := range m.Sockets() {
+			drift := sim.Time(0)
+			perEpoch := sim.Time(float64(epoch) * inj.cfg.EpochDriftPPM * 1e-6)
+			s.Gov.SetFault(func(stats *ufs.EpochStats) bool {
+				hold := false
+				drift += perEpoch
+				if drift >= epoch {
+					drift -= epoch
+					hold = true
+				}
+				if inj.cfg.EpochHoldProb > 0 && inj.epochRng.Bool(inj.cfg.EpochHoldProb) {
+					hold = true
+				}
+				if hold {
+					inj.stats.HeldEpochs++
+				}
+				return hold
+			})
+		}
+	}
+
+	if inj.cfg.SampleDropProb > 0 || inj.cfg.PreemptProb > 0 {
+		m.SetFaults(inj)
+	}
+	return nil
+}
+
+// PreemptGap implements system.Faults.
+func (inj *Injector) PreemptGap(thread string, now sim.Time) sim.Time {
+	if inj.cfg.PreemptProb <= 0 || !inj.sampleRng.Bool(inj.cfg.PreemptProb) {
+		return 0
+	}
+	inj.stats.Preemptions++
+	gap := inj.cfg.PreemptGap
+	if gap <= 0 {
+		gap = 200 * sim.Microsecond
+	}
+	return gap
+}
+
+// DropSample implements system.Faults.
+func (inj *Injector) DropSample(thread string, now sim.Time) bool {
+	if inj.cfg.SampleDropProb <= 0 || !inj.sampleRng.Bool(inj.cfg.SampleDropProb) {
+		return false
+	}
+	inj.stats.DroppedSamples++
+	return true
+}
+
+// CorruptBits applies the channel-boundary erasure process to a decoded
+// bit stream and returns the corrupted copy. The per-bit Gilbert–
+// Elliott state persists across calls, so erasures cluster across frame
+// boundaries the way a shared-resource burst would.
+func (inj *Injector) CorruptBits(bits channel.Bits) channel.Bits {
+	out := append(channel.Bits{}, bits...)
+	if inj.cfg.ErasureGood <= 0 && inj.cfg.ErasureBad <= 0 {
+		return out
+	}
+	for i := range out {
+		inj.bitBad = inj.cfg.Erasure.step(inj.bitBad, inj.bitRng)
+		p := inj.cfg.ErasureGood
+		if inj.bitBad {
+			p = inj.cfg.ErasureBad
+		}
+		if p > 0 && inj.bitRng.Bool(p) {
+			inj.stats.ErasedBits++
+			// An erasure is noise, not an inversion: the receiver
+			// reads a coin flip.
+			if inj.bitRng.Bool(0.5) {
+				out[i] ^= 1
+			}
+		}
+	}
+	return out
+}
+
+// AckLost reports whether the reverse channel loses the next verdict.
+func (inj *Injector) AckLost() bool {
+	if inj.cfg.AckLossProb <= 0 || !inj.ackRng.Bool(inj.cfg.AckLossProb) {
+		return false
+	}
+	inj.stats.LostAcks++
+	return true
+}

@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/channel"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+func newMachine(seed uint64) *system.Machine {
+	cfg := system.DefaultConfig()
+	cfg.Seed = seed
+	return system.New(cfg)
+}
+
+// attach builds a machine with an attached injector at the given config.
+func attach(t *testing.T, seed uint64, cfg Config) (*system.Machine, *Injector) {
+	t.Helper()
+	m := newMachine(seed)
+	inj := New(cfg, m.Rand(0xFA))
+	if err := inj.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, inj
+}
+
+// TestInjectorReproducible: identical seeds must reproduce the whole
+// fault transcript — counters and corrupted bit streams alike.
+func TestInjectorReproducible(t *testing.T) {
+	run := func() (Stats, channel.Bits) {
+		m, inj := attach(t, 7, DefaultConfig(0.8))
+		m.Spawn("load", 0, 0, 0, &workload.Stalling{Slice: 0})
+		// A measuring thread exercises the sample-drop path.
+		m.Spawn("probe", 1, 8, 0, &workload.Measure{
+			Lines:      []cache.Line{1 << 22, 1<<22 + 64, 1<<22 + 128},
+			PerQuantum: 10,
+		})
+		m.Run(400 * sim.Millisecond)
+		bits := inj.CorruptBits(make(channel.Bits, 500))
+		for i := 0; i < 50; i++ {
+			inj.AckLost()
+		}
+		return inj.Stats(), bits
+	}
+	s1, b1 := run()
+	s2, b2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("same seed, different stats:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Errorf("same seed, different corruption")
+	}
+	if s1.BurstSteps == 0 {
+		t.Error("burst process never stepped")
+	}
+	if s1.HeldEpochs == 0 || s1.DroppedSamples == 0 || s1.ErasedBits == 0 {
+		t.Errorf("intensity 0.8 injected too little: %+v", s1)
+	}
+}
+
+// TestZeroIntensityIsClean: the zero-intensity config must not perturb
+// anything observable.
+func TestZeroIntensityIsClean(t *testing.T) {
+	m, inj := attach(t, 3, DefaultConfig(0))
+	m.Spawn("load", 0, 0, 0, &workload.Stalling{Slice: 0})
+	m.Run(300 * sim.Millisecond)
+	bits := channel.Bits{1, 0, 1, 1, 0, 0, 1, 0}
+	out := inj.CorruptBits(append(channel.Bits{}, bits...))
+	if !reflect.DeepEqual(out, bits) {
+		t.Error("zero intensity corrupted bits")
+	}
+	st := inj.Stats()
+	if st.BadSteps != 0 || st.HeldEpochs != 0 || st.DroppedSamples != 0 ||
+		st.Preemptions != 0 || st.ErasedBits != 0 || st.LostAcks != 0 {
+		t.Errorf("zero intensity injected faults: %+v", st)
+	}
+	if inj.AckLost() {
+		t.Error("zero intensity lost an ack")
+	}
+}
+
+// TestBurstsRaiseUncoreFrequency: while the burst process is bad, the
+// gated co-runners stall and the governor pins the socket's uncore high
+// — the §4.3.3 corruption mode. A quiet injector must leave the socket
+// idle.
+func TestBurstsRaiseUncoreFrequency(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Burst = GilbertElliott{PGoodToBad: 1, PBadToGood: 0} // permanently bad
+	cfg.EpochHoldProb, cfg.EpochDriftPPM = 0, 0              // isolate the burst path
+	m, inj := attach(t, 5, cfg)
+	m.Run(400 * sim.Millisecond)
+	if !inj.Bursting() {
+		t.Fatal("P(good→bad)=1 not bursting")
+	}
+	if got := m.Socket(cfg.CoRunnerSocket).Uncore(); got < 20 {
+		t.Errorf("bursting co-runners left uncore at %v, want pinned high", got)
+	}
+
+	quiet := DefaultConfig(1)
+	quiet.Burst = GilbertElliott{} // never bad
+	m2, inj2 := attach(t, 5, quiet)
+	m2.Run(400 * sim.Millisecond)
+	if inj2.Bursting() {
+		t.Fatal("P(good→bad)=0 bursting")
+	}
+	if got := m2.Socket(quiet.CoRunnerSocket).Uncore(); got > 15 {
+		t.Errorf("idle co-runners pushed uncore to %v, want idle band", got)
+	}
+}
+
+// TestGovernorHoldsFreezeRamp: holding every decision freezes the
+// frequency regardless of demand.
+func TestGovernorHoldsFreezeRamp(t *testing.T) {
+	cfg := Config{EpochHoldProb: 1}
+	m, inj := attach(t, 9, cfg)
+	before := m.Socket(0).Uncore()
+	m.Spawn("stall", 0, 0, 0, &workload.Stalling{Slice: 0})
+	m.Run(300 * sim.Millisecond)
+	if got := m.Socket(0).Uncore(); got != before {
+		t.Errorf("held governor moved %v → %v", before, got)
+	}
+	if inj.Stats().HeldEpochs == 0 {
+		t.Error("no epochs recorded held")
+	}
+	if got := m.Socket(0).Gov.HeldEpochs(); got == 0 {
+		t.Error("governor's own held counter is zero")
+	}
+}
+
+// TestErasuresCluster: the per-bit Gilbert–Elliott chain must persist
+// across CorruptBits calls (a burst spans frame boundaries) and count
+// every erasure.
+func TestErasuresCluster(t *testing.T) {
+	cfg := Config{
+		Erasure:     GilbertElliott{PGoodToBad: 0.05, PBadToGood: 0.2},
+		ErasureGood: 0,
+		ErasureBad:  1,
+	}
+	inj := New(cfg, sim.NewRand(11))
+	erased := 0
+	for i := 0; i < 40; i++ {
+		out := inj.CorruptBits(make(channel.Bits, 25))
+		for _, b := range out {
+			if b != 0 {
+				erased++ // flipped half of the erasures
+			}
+		}
+	}
+	st := inj.Stats()
+	if st.ErasedBits == 0 {
+		t.Fatal("no erasures")
+	}
+	if erased == 0 || erased > st.ErasedBits {
+		t.Errorf("%d observable flips vs %d erasures", erased, st.ErasedBits)
+	}
+	// A memoryless process with these rates erases ~20%; clustering is
+	// what the two-state chain is for, so the count must sit well below
+	// the all-bad rate and above the all-good one.
+	if st.ErasedBits == 40*25 {
+		t.Error("erasure chain stuck bad")
+	}
+}
+
+// TestAttachTwiceFails: one injector drives one machine.
+func TestAttachTwiceFails(t *testing.T) {
+	m, inj := attach(t, 1, DefaultConfig(0.5))
+	if err := inj.Attach(m); err == nil {
+		t.Fatal("second Attach accepted")
+	}
+}
+
+// TestConcurrentInjectorsIndependent: one injector per machine, many
+// machines in parallel — the shape of a sweep experiment. Under -race
+// this proves injectors share no mutable state; equal seeds must still
+// agree exactly.
+func TestConcurrentInjectorsIndependent(t *testing.T) {
+	const n = 8
+	stats := make([]Stats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, inj := attach(t, 42, DefaultConfig(0.7)) // same seed on purpose
+			m.Spawn("load", 0, 0, 0, &workload.Stalling{Slice: 0})
+			m.Run(300 * sim.Millisecond)
+			inj.CorruptBits(make(channel.Bits, 200))
+			stats[i] = inj.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(stats[0], stats[i]) {
+			t.Errorf("machine %d diverged from machine 0:\n%+v\n%+v", i, stats[0], stats[i])
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package system
 
 import (
+	"math"
+
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -126,9 +128,17 @@ func (c *Ctx) Access(line cache.Line) cache.AccessResult {
 // cycles. The fences serialise the pipeline: they add time (keeping the
 // receiver's LLC access density low, §4.2) but are excluded from the
 // measured value, exactly as rdtscp brackets only the load.
+//
+// When a machine-level fault hook drops the sample (an interrupt landed
+// inside the timing bracket), the load still happened — the cache state
+// changed and the time was spent — but the measurement is lost and NaN
+// is returned; measurement loops must discard NaN samples.
 func (c *Ctx) TimedAccess(line cache.Line) float64 {
 	cycles, _ := c.access(line)
 	c.charge(cycles+c.m.cfg.Timing.FenceCycles, cycles)
+	if c.m.faults != nil && c.m.faults.DropSample(c.t.Name, c.Now()) {
+		return math.NaN()
+	}
 	return cycles
 }
 

@@ -141,6 +141,21 @@ func (s *Socket) QuantumPower() float64 { return s.quantumPower }
 // Uncore returns the socket's current uncore frequency.
 func (s *Socket) Uncore() sim.Freq { return s.Gov.Current() }
 
+// Faults is the machine-level fault hook (implemented by
+// internal/faults): the scheduler consults it for OS-preemption gaps at
+// the top of each thread's quantum, and TimedAccess consults it for
+// lost measurement samples. Implementations must be deterministic —
+// they are part of the seed-reproducible simulation.
+type Faults interface {
+	// PreemptGap returns how much of the thread's quantum the OS stole
+	// (an involuntary context switch); it is consulted once per live
+	// thread per quantum and clamped to the quantum length.
+	PreemptGap(thread string, now sim.Time) sim.Time
+	// DropSample reports whether a timed load's measurement is lost
+	// (e.g. an interrupt landed inside the rdtscp bracket).
+	DropSample(thread string, now sim.Time) bool
+}
+
 // Machine is the whole platform.
 type Machine struct {
 	cfg     Config
@@ -148,7 +163,14 @@ type Machine struct {
 	rng     *sim.Rand
 	sockets []*Socket
 	threads []*Thread
+	faults  Faults
 }
+
+// SetFaults installs (or, with nil, removes) the machine-level fault
+// hook. The hook applies to every thread; the aggregate loop models only
+// feel preemption through their fine-grained budget, so in practice it
+// perturbs the measurement path.
+func (m *Machine) SetFaults(f Faults) { m.faults = f }
 
 // New builds a machine from cfg.
 func New(cfg Config) *Machine {
@@ -329,6 +351,16 @@ func (m *Machine) stepQuantum(now sim.Time) {
 			t:       t,
 			start:   now - m.cfg.Quantum,
 			quantum: m.cfg.Quantum,
+		}
+		if m.faults != nil {
+			if gap := m.faults.PreemptGap(t.Name, now); gap > 0 {
+				if gap > m.cfg.Quantum {
+					gap = m.cfg.Quantum
+				}
+				// The stolen slice is gone before the workload runs:
+				// fine-grained work sees a shortened quantum.
+				ctx.used = gap
+			}
 		}
 		act := t.w.Step(ctx)
 		act.Add(ctx.acc)

@@ -167,17 +167,27 @@ type EpochStats struct {
 	PeerFreqs []sim.Freq
 }
 
+// FaultFunc perturbs one governor decision (installed by
+// internal/faults). It runs after the package C-state update with the
+// epoch's stats, which it may mutate (sampling-window noise from phase
+// drift); returning true holds the operating point for the epoch — the
+// decision point drifted past the status-sampling boundary, or the PCU
+// skipped a decision under load. Implementations must be deterministic.
+type FaultFunc func(stats *EpochStats) (hold bool)
+
 // Governor is one socket's UFS state machine.
 type Governor struct {
 	params Params
 	file   *msr.File
 	rng    *sim.Rand
+	fault  FaultFunc
 
 	cur        sim.Freq
 	dither     bool
 	slowCredit int
 	pc         PCState
 	epochs     uint64
+	held       uint64
 }
 
 // NewGovernor returns a governor at the idle operating point, constrained
@@ -221,6 +231,12 @@ func (g *Governor) PC() PCState { return g.pc }
 // Epochs returns how many decision epochs have elapsed.
 func (g *Governor) Epochs() uint64 { return g.epochs }
 
+// SetFault installs (or, with nil, removes) the per-epoch fault hook.
+func (g *Governor) SetFault(f FaultFunc) { g.fault = f }
+
+// HeldEpochs returns how many decisions the fault hook has held.
+func (g *Governor) HeldEpochs() uint64 { return g.held }
+
 // ladder returns the highest rung target whose threshold value v meets,
 // or 0 if below all rungs.
 func ladder(steps []Step, v float64) sim.Freq {
@@ -251,6 +267,14 @@ func (g *Governor) Tick(stats EpochStats) sim.Freq {
 		g.pc = PCState(stats.MinCState)
 	} else {
 		g.pc = 0
+	}
+
+	// Injected decision faults: a held epoch keeps the operating point
+	// (the C-state bookkeeping above is hardware, not a decision, and
+	// still happened).
+	if g.fault != nil && g.fault(&stats) {
+		g.held++
+		return g.cur
 	}
 
 	// UFS disabled: pinned.

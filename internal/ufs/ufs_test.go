@@ -240,6 +240,40 @@ func TestSampleFreqBlendsDither(t *testing.T) {
 	}
 }
 
+func TestFaultHoldsDecision(t *testing.T) {
+	g, _ := newGov()
+	// Hold every other decision: the stall-rule ramp still reaches the
+	// maximum, but takes twice the epochs, and every held epoch keeps
+	// the frequency exactly where it was.
+	n := 0
+	g.SetFault(func(*EpochStats) bool { n++; return n%2 == 0 })
+	prev := g.Current()
+	epochs := 0
+	for epochs = 0; epochs < 60 && g.Current() < 24; epochs++ {
+		f := g.Tick(stats(g, 0.1, 0, 2, 1))
+		if f != prev && f != prev+1 {
+			t.Fatalf("faulted ramp jumped from %v to %v", prev, f)
+		}
+		prev = f
+	}
+	if g.Current() != 24 {
+		t.Fatalf("faulted ramp stabilized at %v, want 2.4GHz", g.Current())
+	}
+	if epochs < 17 { // clean ramp takes ~9 epochs; half held → ~18
+		t.Errorf("ramp with half the decisions held took only %d epochs", epochs)
+	}
+	if g.HeldEpochs() != uint64(n/2) {
+		t.Errorf("HeldEpochs = %d, want %d", g.HeldEpochs(), n/2)
+	}
+	// Clearing the fault restores normal operation.
+	g.SetFault(nil)
+	held := g.HeldEpochs()
+	settle(g, func() EpochStats { return stats(g, 0, 0, 0, 0) }, 20)
+	if g.HeldEpochs() != held {
+		t.Error("cleared fault still holding epochs")
+	}
+}
+
 func TestDistanceWeight(t *testing.T) {
 	p := DefaultParams()
 	if p.DistanceWeight(0) != 0 {

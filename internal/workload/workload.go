@@ -13,6 +13,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -155,7 +156,9 @@ func (w *Measure) Step(ctx *system.Ctx) system.Activity {
 	}
 	for i := 0; i < n && ctx.Remaining() > 0; i++ {
 		lat := ctx.TimedAccess(w.Lines[w.pos])
-		if w.Sink != nil {
+		if w.Sink != nil && !math.IsNaN(lat) {
+			// NaN marks a sample stolen by an injected measurement
+			// fault; the loop spent the time but records nothing.
 			w.Sink(ctx.Now(), lat)
 		}
 		w.pos = (w.pos + 1) % len(w.Lines)

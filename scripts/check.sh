@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository gate: formatting, vet, and the full test suite under the
+# race detector. Run from anywhere; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+# The experiments package replays every paper artefact; under the race
+# detector that legitimately exceeds go test's default 10m budget.
+go test -race -timeout=45m ./...
+
+echo "== ok"
