@@ -1,6 +1,7 @@
 // Command ufsim regenerates the tables and figures of "Uncore Encore:
 // Covert Channels Exploiting Uncore Frequency Scaling" (MICRO 2023) on the
-// simulated platform.
+// simulated platform, through a supervised runner that survives individual
+// experiment failures.
 //
 // Usage:
 //
@@ -10,6 +11,20 @@
 //	ufsim -experiment fig10 -quick   fast, reduced-density variant
 //	ufsim -experiment fig9 -seed 7   change the simulation seed
 //
+// Sweep supervision (see DESIGN.md "Experiment orchestration"):
+//
+//	-jobs 4          run up to 4 experiments in parallel
+//	-timeout 10m     bound each attempt's wall-clock time
+//	-retries 1       retry a failed experiment once, reseeded
+//	-keep-going      survive failures and finish the rest of the sweep
+//	-artifacts DIR   write crash artifacts and the sweep manifest here
+//	-resume          skip experiments already done in DIR's manifest
+//
+// A failed run leaves DIR/<id>.crash.json with the seed, options, error,
+// stack, log tail, and the exact replay command. Ctrl-C cancels the sweep
+// gracefully: in-flight runs stop at their next engine check, and the
+// summary still prints.
+//
 // The reliability subcommand runs one faulted ARQ transfer and prints
 // its per-frame transcript:
 //
@@ -17,13 +32,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -31,20 +51,35 @@ func main() {
 		reliabilityCmd(os.Args[2:])
 		return
 	}
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		id    = flag.String("experiment", "", "experiment id to run (or \"all\")")
-		quick = flag.Bool("quick", false, "reduced trial counts and sweep densities")
-		seed  = flag.Uint64("seed", experiments.DefaultOptions().Seed, "simulation seed")
-		out   = flag.String("out", "", "directory to also write per-experiment reports into")
+		list      = flag.Bool("list", false, "list available experiments")
+		id        = flag.String("experiment", "", "experiment id to run (or \"all\")")
+		quick     = flag.Bool("quick", false, "reduced trial counts and sweep densities")
+		seed      = flag.Uint64("seed", experiments.DefaultOptions().Seed, "simulation seed")
+		out       = flag.String("out", "", "directory to also write per-experiment reports into")
+		jobs      = flag.Int("jobs", 1, "experiments to run in parallel")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit per experiment attempt (0 = none)")
+		retries   = flag.Int("retries", 0, "retries per failed experiment (each reseeded)")
+		keepGoing = flag.Bool("keep-going", false, "continue the sweep past failures")
+		artifacts = flag.String("artifacts", "", "directory for crash artifacts and the sweep manifest")
+		resume    = flag.Bool("resume", false, "skip experiments already completed in the -artifacts manifest")
+		maxSteps  = flag.Int64("max-steps", 0, "per-machine engine step budget (0 = none); runaway simulations fail instead of spinning")
 	)
 	flag.Parse()
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	if *resume && *artifacts == "" {
+		fmt.Fprintln(os.Stderr, "ufsim: -resume needs -artifacts (the manifest lives there)")
+		return 2
 	}
 
 	if *list || *id == "" {
@@ -55,48 +90,96 @@ func main() {
 		if *id == "" && !*list {
 			fmt.Println("\nrun one with: ufsim -experiment <id>")
 		}
-		return
+		return 0
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	run := func(e experiments.Experiment) {
-		fmt.Printf("== %s: %s\n", e.ID, e.Title)
-		t0 := time.Now()
-		res, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ufsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "ufsim: rendering %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		if *out != "" {
-			f, err := os.Create(filepath.Join(*out, e.ID+".txt"))
-			if err == nil {
-				err = res.Render(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ufsim: writing %s report: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-		}
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
-	}
-
+	var exps []experiments.Experiment
 	if *id == "all" {
-		for _, e := range experiments.All() {
-			run(e)
+		exps = experiments.All()
+	} else {
+		e, ok := experiments.Get(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ufsim: unknown experiment %q (use -list)\n", *id)
+			return 2
 		}
-		return
+		exps = []experiments.Experiment{e}
 	}
-	e, ok := experiments.Get(*id)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ufsim: unknown experiment %q (use -list)\n", *id)
-		os.Exit(2)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := runner.Config{
+		Jobs:           *jobs,
+		Timeout:        *timeout,
+		Retries:        *retries,
+		KeepGoing:      *keepGoing,
+		Seed:           *seed,
+		Quick:          *quick,
+		MaxEngineSteps: *maxSteps,
+		ArtifactDir:    *artifacts,
+		Resume:         *resume,
+		Log:            os.Stderr,
+		OnResult:       func(rep runner.Report) { emit(rep, *out) },
 	}
-	run(e)
+	start := time.Now()
+	sum, err := runner.Run(ctx, cfg, exps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
+		return 1
+	}
+
+	if len(exps) > 1 || sum.Failed > 0 || sum.Skipped > 0 {
+		fmt.Printf("sweep: %s in %.1fs\n", sum, time.Since(start).Seconds())
+	}
+	for _, rep := range sum.Reports {
+		if rep.Status == runner.StatusFailed && rep.Artifact != "" {
+			fmt.Fprintf(os.Stderr, "ufsim: %s failed; crash artifact: %s\n", rep.ID, rep.Artifact)
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "ufsim: sweep interrupted")
+		return 1
+	}
+	if sum.Failed > 0 {
+		if *artifacts != "" {
+			fmt.Fprintf(os.Stderr, "ufsim: re-run only the failures with: ufsim -experiment %s -artifacts %s -resume\n", *id, *artifacts)
+		}
+		return 1
+	}
+	return 0
+}
+
+// emit renders one finished experiment: to stdout, and — for successful
+// runs with -out — to <out>/<id>.txt. Reports arrive serialized from the
+// runner, so concurrent sweeps never interleave their rendering.
+func emit(rep runner.Report, out string) {
+	switch rep.Status {
+	case runner.StatusDone:
+		if rep.Cached {
+			return // already reported (and rendered) by the sweep that did it
+		}
+		fmt.Printf("== %s: %s\n", rep.ID, rep.Title)
+		if err := rep.Result.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ufsim: rendering %s: %v\n", rep.ID, err)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", rep.ID, rep.Duration.Seconds())
+		if out != "" {
+			if err := writeReport(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "ufsim: writing %s report: %v\n", rep.ID, err)
+			}
+		}
+	case runner.StatusFailed:
+		fmt.Fprintf(os.Stderr, "ufsim: %s failed after %d attempt(s): %v\n", rep.ID, rep.Attempts, rep.Err)
+	case runner.StatusSkipped:
+		fmt.Fprintf(os.Stderr, "ufsim: %s skipped: %v\n", rep.ID, rep.Err)
+	}
+}
+
+// writeReport persists one report atomically: the render goes to a temp
+// file that is renamed into place only on success, so a failed or
+// interrupted Render never leaves a truncated <id>.txt behind.
+func writeReport(dir string, rep runner.Report) error {
+	return runner.WriteFileAtomic(filepath.Join(dir, rep.ID+".txt"), func(w io.Writer) error {
+		return rep.Result.Render(w)
+	})
 }

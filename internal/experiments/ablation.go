@@ -66,7 +66,7 @@ func ablationBER(opts Options, interval sim.Time, nbits int, mutate func(*system
 		cfg := system.DefaultConfig()
 		cfg.Seed = opts.Seed + uint64(trial)*7919
 		mutate(&cfg)
-		m := system.New(cfg)
+		m := bindMachine(system.New(cfg), opts)
 		c := ufvariation.DefaultConfig()
 		c.Interval = interval
 		c.Lead = 40*sim.Millisecond + sim.Time(trial)*3700*sim.Microsecond
@@ -93,6 +93,9 @@ func Ablate(opts Options) (AblationResult, error) {
 	// changes and keeps fast intervals clean; a long one delays the
 	// reaction and pushes the knee right.
 	for _, tailMS := range []float64{2, 5, 8, 10} {
+		if err := opts.Checkpoint("ablate: tail-window=%vms", tailMS); err != nil {
+			return res, err
+		}
 		tail := sim.Time(tailMS) * sim.Millisecond
 		fast, err := ablationBER(opts, 16*sim.Millisecond, nbits, func(c *system.Config) { c.UFS.TailWindow = tail })
 		if err != nil {
@@ -109,6 +112,9 @@ func Ablate(opts Options) (AblationResult, error) {
 
 	// (b) Drift noise → error floor near the peak.
 	for _, std := range []float64{0, 0.5, 1.5} {
+		if err := opts.Checkpoint("ablate: drift-std=%v", std); err != nil {
+			return res, err
+		}
 		ber, err := ablationBER(opts, 20*sim.Millisecond, nbits, func(c *system.Config) {
 			c.Timing.DriftStd = std
 			c.UFS.Timing.DriftStd = std
@@ -124,6 +130,9 @@ func Ablate(opts Options) (AblationResult, error) {
 	// flat weights (W(h)=h) one far-slice thread no longer reaches the
 	// maximum frequency and the paper's grid breaks.
 	for _, tt := range []int{0, 1, 2, 3} {
+		if err := opts.Checkpoint("ablate: distance-weight hops=%d", tt); err != nil {
+			return res, err
+		}
 		super, err := ablationFig3Cell(opts, tt, nil)
 		if err != nil {
 			return res, err
@@ -147,7 +156,7 @@ func ablationFig3Cell(opts Options, tt int, weights []float64) (float64, error) 
 	if weights != nil {
 		cfg.UFS.DistWeight = weights
 	}
-	m := system.New(cfg)
+	m := bindMachine(system.New(cfg), opts)
 	pairs, err := coresWithSliceAt(m, 0, tt, 1)
 	if err != nil {
 		return 0, err

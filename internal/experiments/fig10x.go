@@ -55,10 +55,13 @@ func Fig10x(opts Options) (Fig10xResult, error) {
 	for vi, v := range variants {
 		row := Fig10xRow{Variant: v.name}
 		for _, cross := range []bool{false, true} {
+			if err := opts.Checkpoint("fig10x: variant=%s cross-processor=%v", v.name, cross); err != nil {
+				return Fig10xResult{}, err
+			}
 			var errBits, tot int
 			var iv sim.Time
 			for trial := 0; trial < trials; trial++ {
-				m := newMachine(Options{Seed: opts.Seed + uint64(vi*100+trial)*104729})
+				m := newMachine(opts.Reseeded(opts.Seed + uint64(vi*100+trial)*104729))
 				cfg := ufvariation.DefaultConfig()
 				cfg.Interval = 21 * sim.Millisecond
 				if cross {

@@ -39,6 +39,9 @@ func (r Fig11Result) Render(w io.Writer) error {
 func Fig11(opts Options) (Fig11Result, error) {
 	res := Fig11Result{Sizes: []int{1024, 3072, 5120}}
 	for _, size := range res.Sizes {
+		if err := opts.Checkpoint("fig11: trace size=%dKB", size); err != nil {
+			return Fig11Result{}, err
+		}
 		m := newMachine(opts)
 		tr, err := sidechannel.CompressionTrace(m, size, 100*sim.Millisecond, 1200*sim.Millisecond)
 		if err != nil {
@@ -66,7 +69,10 @@ func Fig11(opts Options) (Fig11Result, error) {
 	}
 	correct := 0
 	for i, size := range sweep {
-		m := newMachine(Options{Seed: opts.Seed + uint64(i)*37, Quick: opts.Quick})
+		if err := opts.Checkpoint("fig11: classify size=%dKB", size); err != nil {
+			return Fig11Result{}, err
+		}
+		m := newMachine(opts.Reseeded(opts.Seed + uint64(i)*37))
 		tr, err := sidechannel.CompressionTrace(m, size, 100*sim.Millisecond, 1400*sim.Millisecond)
 		if err != nil {
 			return Fig11Result{}, err
@@ -112,12 +118,15 @@ func Fig12(opts Options) (Fig12Result, error) {
 	if opts.Quick {
 		nsites, train, test = 12, 3, 1
 	}
+	if err := opts.Checkpoint("fig12: fingerprint %d sites", nsites); err != nil {
+		return Fig12Result{}, err
+	}
 	seedCtr := opts.Seed
 	mk := func() *system.Machine {
 		seedCtr++
 		cfg := system.DefaultConfig()
 		cfg.Seed = seedCtr
-		return system.New(cfg)
+		return bindMachine(system.New(cfg), opts)
 	}
 	rep, err := sidechannel.Fingerprint(mk, sidechannel.Sites(nsites), train, test)
 	if err != nil {

@@ -67,6 +67,9 @@ func Fig3(opts Options) (Fig3Result, error) {
 	for _, tt := range types {
 		row := make([]float64, len(counts))
 		for j, n := range counts {
+			if err := opts.Checkpoint("fig3: traffic=%s threads=%d", trafficTypeName(tt), n); err != nil {
+				return Fig3Result{}, err
+			}
 			m := newMachine(opts)
 			if tt < 0 {
 				for i := 0; i < n; i++ {

@@ -78,6 +78,9 @@ func Fig4(opts Options) (Fig4Result, error) {
 				row[j] = -1 // more threads than cores
 				continue
 			}
+			if err := opts.Checkpoint("fig4: stalled=%d unstalled=%d", s, k); err != nil {
+				return Fig4Result{}, err
+			}
 			m := newMachine(opts)
 			core := 0
 			for i := 0; i < s; i++ {

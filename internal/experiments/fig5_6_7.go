@@ -65,6 +65,9 @@ func Fig6(opts Options) (RampResult, error) {
 }
 
 func rampExperiment(opts Options, title string, startStalling bool) (RampResult, error) {
+	if err := opts.Checkpoint("ramp: %s", title); err != nil {
+		return RampResult{}, err
+	}
 	m := newMachine(opts)
 	switchAt := 40 * sim.Millisecond
 	slice, _ := m.Socket(0).Die.SliceAtHops(0, 0)
@@ -97,6 +100,9 @@ func rampExperiment(opts Options, title string, startStalling bool) (RampResult,
 // socket 1's uncore follows with a ~10 ms lag and stabilises 100 MHz lower
 // (§3.4).
 func Fig7(opts Options) (RampResult, error) {
+	if err := opts.Checkpoint("fig7: cross-socket ramp"); err != nil {
+		return RampResult{}, err
+	}
 	m := newMachine(opts)
 	switchAt := 40 * sim.Millisecond
 	slice, _ := m.Socket(0).Die.SliceAtHops(0, 0)

@@ -62,6 +62,9 @@ func Fig8(opts Options) (Fig8Result, error) {
 	for _, h := range hops {
 		row := make([]stats.Summary, len(freqs))
 		for j, f := range freqs {
+			if err := opts.Checkpoint("fig8: hops=%d freq=%v", h, f); err != nil {
+				return Fig8Result{}, err
+			}
 			samples, err := fig8Samples(opts, h, f)
 			if err != nil {
 				return Fig8Result{}, err

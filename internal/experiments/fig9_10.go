@@ -30,6 +30,9 @@ func (r Fig9Result) Render(w io.Writer) error {
 
 // Fig9 reproduces Figure 9.
 func Fig9(opts Options) (Fig9Result, error) {
+	if err := opts.Checkpoint("fig9: example transmission"); err != nil {
+		return Fig9Result{}, err
+	}
 	m := newMachine(opts)
 	cfg := ufvariation.DefaultConfig()
 	cfg.RecordTraces = true
@@ -100,10 +103,13 @@ func Fig10(opts Options) (Fig10Result, error) {
 	sweep := func(cross bool) ([]Fig10Point, error) {
 		var pts []Fig10Point
 		for _, ms := range intervals {
+			if err := opts.Checkpoint("fig10: cross-processor=%v interval=%dms", cross, ms); err != nil {
+				return nil, err
+			}
 			iv := sim.Time(ms) * sim.Millisecond
 			var errBits, totBits int
 			for trial := 0; trial < trials; trial++ {
-				m := newMachine(Options{Seed: opts.Seed + uint64(trial)*7919, Quick: opts.Quick})
+				m := newMachine(opts.Reseeded(opts.Seed + uint64(trial)*7919))
 				cfg := ufvariation.DefaultConfig()
 				if cross {
 					cfg = cfg.CrossProcessor()

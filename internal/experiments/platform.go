@@ -9,11 +9,26 @@ import (
 	"repro/internal/trace"
 )
 
-// newMachine builds the default Table 1 platform with the experiment seed.
+// newMachine builds the default Table 1 platform with the experiment seed,
+// bound to the run's context and step budget.
 func newMachine(opts Options) *system.Machine {
 	cfg := system.DefaultConfig()
 	cfg.Seed = opts.Seed
-	return system.New(cfg)
+	return bindMachine(system.New(cfg), opts)
+}
+
+// bindMachine threads the run's cancellation and watchdog into a machine;
+// every experiment machine — including ones built from a custom
+// system.Config — must pass through here so a deadline or budget reaches
+// the engine hot loop.
+func bindMachine(m *system.Machine, opts Options) *system.Machine {
+	if opts.Context != nil {
+		m.Bind(opts.Context)
+	}
+	if opts.MaxEngineSteps > 0 {
+		m.SetStepBudget(opts.MaxEngineSteps)
+	}
+	return m
 }
 
 // sampleUncore attaches a sampler recording socket's uncore frequency (in

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -19,10 +20,63 @@ type Options struct {
 	// Quick shrinks trial counts and sweep densities for smoke tests
 	// and benchmarks; headline shapes are preserved.
 	Quick bool
+
+	// Context, when non-nil, bounds the run: every machine an
+	// experiment builds is bound to it (cancellation reaches the engine
+	// hot loop), and experiments check it between sweep points so a
+	// cancelled run returns ctx.Err() instead of finishing the sweep.
+	// Nil means context.Background() — no deadline, matching the
+	// recorded results.
+	Context context.Context
+	// Log, when non-nil, receives the experiment's progress lines
+	// (sweep checkpoints); the runner captures it into crash artifacts.
+	Log io.Writer
+	// MaxEngineSteps, when positive, arms every machine's step watchdog
+	// so a runaway simulation fails with sim.ErrBudgetExceeded instead
+	// of spinning. The budget is per machine, not per experiment.
+	MaxEngineSteps int64
 }
 
 // DefaultOptions returns the options used for the recorded results.
 func DefaultOptions() Options { return Options{Seed: 0x5eed} }
+
+// Ctx returns the run's context, defaulting to context.Background().
+func (o Options) Ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// Err reports whether the run has been cancelled; experiments call it
+// between sweep points and return the error unchanged.
+func (o Options) Err() error { return o.Ctx().Err() }
+
+// Checkpoint is the audit hook placed between sweep points: it logs the
+// stage about to run and returns the cancellation error, if any. The
+// stage line lands in the runner's per-run log, so a crash artifact shows
+// how far the sweep got.
+func (o Options) Checkpoint(format string, args ...any) error {
+	o.Logf(format, args...)
+	return o.Err()
+}
+
+// Logf writes one progress line to the run's log, if any.
+func (o Options) Logf(format string, args ...any) {
+	if o.Log == nil {
+		return
+	}
+	fmt.Fprintf(o.Log, format+"\n", args...)
+}
+
+// Reseeded returns a copy of o with the seed replaced, keeping the
+// context, log, and budget. Experiments that build per-trial machines
+// derive their inner options this way so cancellation still reaches the
+// inner engines.
+func (o Options) Reseeded(seed uint64) Options {
+	o.Seed = seed
+	return o
+}
 
 // Result is a rendered experiment outcome.
 type Result interface {

@@ -1,0 +1,102 @@
+// Registry behavior and the whole-catalog smoke test. This file is an
+// external test package so it can drive the registry through
+// internal/runner (which imports experiments) without a cycle.
+package experiments_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+func TestGetUnknownID(t *testing.T) {
+	for _, id := range []string{"", "nope", "fig999", "FIG3"} {
+		if e, ok := experiments.Get(id); ok {
+			t.Errorf("Get(%q) unexpectedly found %q", id, e.ID)
+		}
+	}
+}
+
+func TestGetKnownID(t *testing.T) {
+	e, ok := experiments.Get("fig3")
+	if !ok || e.ID != "fig3" || e.Run == nil || e.Title == "" {
+		t.Fatalf("Get(fig3) = %+v, %v", e, ok)
+	}
+}
+
+func TestAllOrderingStable(t *testing.T) {
+	all := experiments.All()
+	if len(all) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("All() not sorted by ID: %v", ids)
+	}
+	again := experiments.All()
+	for i := range all {
+		if all[i].ID != again[i].ID {
+			t.Fatalf("All() ordering unstable at %d: %q vs %q", i, all[i].ID, again[i].ID)
+		}
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// Every registered experiment must run under Quick with a short deadline
+// and either finish or return promptly with the cancellation (or step
+// budget) error — never hang, panic, or ignore its context. This is the
+// audit check for the per-experiment cancellation checkpoints.
+func TestEveryExperimentQuickUnderShortDeadline(t *testing.T) {
+	cfg := runner.Config{
+		Jobs:      4,
+		Timeout:   400 * time.Millisecond,
+		Grace:     10 * time.Second, // long: an abandonment here is a hard failure below
+		KeepGoing: true,
+		Quick:     true,
+		Seed:      experiments.DefaultOptions().Seed,
+	}
+	sum, err := runner.Run(context.Background(), cfg, experiments.All())
+	if err != nil {
+		t.Fatalf("runner.Run: %v", err)
+	}
+	if len(sum.Reports) != len(experiments.All()) {
+		t.Fatalf("%d reports for %d experiments", len(sum.Reports), len(experiments.All()))
+	}
+	for _, rep := range sum.Reports {
+		rep := rep
+		t.Run(rep.ID, func(t *testing.T) {
+			if rep.Abandoned {
+				t.Fatalf("%s ignored its cancelled context past the grace window", rep.ID)
+			}
+			switch rep.Status {
+			case runner.StatusDone:
+				if rep.Result == nil {
+					t.Errorf("%s done without a result", rep.ID)
+				}
+			case runner.StatusFailed:
+				// The only acceptable failure under a short deadline is
+				// the deadline itself (or a step budget, if armed).
+				if !errors.Is(rep.Err, context.DeadlineExceeded) && !errors.Is(rep.Err, sim.ErrBudgetExceeded) {
+					t.Errorf("%s failed with %v, want only deadline/budget errors", rep.ID, rep.Err)
+				}
+			default:
+				t.Errorf("%s unexpectedly %s (%v)", rep.ID, rep.Status, rep.Err)
+			}
+		})
+	}
+}

@@ -101,6 +101,9 @@ func runReliability(opts Options) (Result, error) {
 
 	res := &relResult{PayloadBytes: payloadBytes, BaseInterval: base.Interval}
 	for _, intensity := range intensities {
+		if err := opts.Checkpoint("rel: intensity=%v", intensity); err != nil {
+			return nil, err
+		}
 		row := relRow{Intensity: intensity}
 
 		// Raw leg: the unprotected channel at the base interval under

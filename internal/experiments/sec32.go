@@ -27,6 +27,9 @@ func (r Sec32Result) Render(w io.Writer) error {
 // Sec32 runs each loop for one second and reads its core's counters, as
 // the paper does with Linux perf.
 func Sec32(opts Options) (Sec32Result, error) {
+	if err := opts.Checkpoint("sec32: stall-ratio probes"); err != nil {
+		return Sec32Result{}, err
+	}
 	measure := func(mk func(m *system.Machine) system.Workload) float64 {
 		m := newMachine(opts)
 		t := m.Spawn("probe", 0, 0, 0, mk(m))

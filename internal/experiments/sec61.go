@@ -62,6 +62,9 @@ func Sec61(opts Options) (Sec61Result, error) {
 	}
 	var res Sec61Result
 	for _, c := range cases {
+		if err := opts.Checkpoint("sec61: countermeasure=%s", c.name); err != nil {
+			return Sec61Result{}, err
+		}
 		m := newMachine(opts)
 		// Countermeasures deploy on every socket, as system software
 		// would.

@@ -115,6 +115,9 @@ func Sec61e(opts Options) (Sec61eResult, error) {
 	var res Sec61eResult
 	var baseline float64
 	for i, c := range cases {
+		if err := opts.Checkpoint("sec61e: energy under %s", c.name); err != nil {
+			return Sec61eResult{}, err
+		}
 		cm := c.cm
 		if c.name == "fixed-frequency" {
 			// §6.1's anchor pins at freq_max, the safe-performance

@@ -37,12 +37,15 @@ func Sec61f(opts Options) (Sec61fResult, error) {
 		nsites, train, test = 10, 3, 1
 	}
 	eval := func(restrict bool) (sidechannel.FingerprintReport, error) {
+		if err := opts.Checkpoint("sec61f: fingerprint restricted=%v", restrict); err != nil {
+			return sidechannel.FingerprintReport{}, err
+		}
 		seed := opts.Seed
 		mk := func() *system.Machine {
 			seed++
 			cfg := system.DefaultConfig()
 			cfg.Seed = seed
-			m := system.New(cfg)
+			m := bindMachine(system.New(cfg), opts)
 			if restrict {
 				for s := range m.Sockets() {
 					if err := defense.Deploy(defense.RestrictedRange, m, s, 0); err != nil {

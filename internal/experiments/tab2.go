@@ -77,10 +77,13 @@ func Tab2(opts Options) (Tab2Result, error) {
 	for _, n := range ns {
 		best := 0.0
 		for _, ms := range intervals {
+			if err := opts.Checkpoint("tab2: stressors=%d interval=%dms", n, ms); err != nil {
+				return Tab2Result{}, err
+			}
 			iv := sim.Time(ms) * sim.Millisecond
 			var errBits, totBits int
 			for trial := 0; trial < trials; trial++ {
-				m := newMachine(Options{Seed: opts.Seed + uint64(trial)*104729 + uint64(n)})
+				m := newMachine(opts.Reseeded(opts.Seed + uint64(trial)*104729 + uint64(n)))
 				SpawnStressors(m, 0, n)
 				cfg := ufvariation.DefaultConfig()
 				cfg.UseTrafficLoop = true

@@ -132,6 +132,9 @@ func Tab3(opts Options) (Tab3Result, error) {
 	for _, ch := range baselines.All() {
 		res.Rows = append(res.Rows, ch.Name())
 		for _, col := range Tab3Columns {
+			if err := opts.Checkpoint("tab3: %s under %s", ch.Name(), col); err != nil {
+				return Tab3Result{}, err
+			}
 			env := tab3Env(col)
 			m := tab3Machine(opts, ch.Interconnect())
 			env.Apply(m)
@@ -146,6 +149,9 @@ func Tab3(opts Options) (Tab3Result, error) {
 	// UF-variation row, through the real channel implementation.
 	res.Rows = append(res.Rows, "UF-variation")
 	for _, col := range Tab3Columns {
+		if err := opts.Checkpoint("tab3: UF-variation under %s", col); err != nil {
+			return Tab3Result{}, err
+		}
 		env := tab3Env(col)
 		m := tab3Machine(opts, mesh.KindMesh)
 		env.Apply(m)
@@ -164,7 +170,7 @@ func tab3Machine(opts Options, kind mesh.Kind) *system.Machine {
 	cfg := system.DefaultConfig()
 	cfg.Seed = opts.Seed
 	cfg.Interconnect = kind
-	return system.New(cfg)
+	return bindMachine(system.New(cfg), opts)
 }
 
 func init() {

@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Chaos mode: where the rest of this package perturbs the *simulated*
+// platform, the chaos specs misbehave at the orchestration boundary —
+// they panic, hang, spin, or fail the way a buggy or unlucky experiment
+// would. They exist to test the supervisor (internal/runner): a runner
+// that survives the full chaos suite survives anything the real
+// experiments can throw at it. The specs deliberately avoid importing
+// the experiments package (which imports faults); the runner adapts a
+// ChaosSpec into an experiments.Experiment.
+
+// ChaosMode selects one misbehavior.
+type ChaosMode int
+
+const (
+	// ChaosHealthy completes normally after a short burst of simulated
+	// work (a real engine spins a few hundred ticks).
+	ChaosHealthy ChaosMode = iota
+	// ChaosError fails deterministically with an ordinary error.
+	ChaosError
+	// ChaosPanic panics mid-run.
+	ChaosPanic
+	// ChaosHang blocks until the run's context is cancelled and then
+	// returns the context error — a cooperative hang, the shape of an
+	// experiment stuck waiting on simulated progress that never comes.
+	ChaosHang
+	// ChaosHardHang blocks forever and ignores the context — the shape
+	// of a deadlocked run. The supervisor can only abandon it; the
+	// goroutine is leaked by design.
+	ChaosHardHang
+	// ChaosSpin runs a misconfigured engine (a picosecond-period ticker
+	// across a huge window): effectively unbounded tick work, stopped
+	// only by the step watchdog or the context.
+	ChaosSpin
+	// ChaosFlaky fails if and only if it runs with its BaseSeed — the
+	// shape of a seed-sensitive failure that a reseeding retry policy
+	// absorbs.
+	ChaosFlaky
+)
+
+// String names the mode for labels and logs.
+func (m ChaosMode) String() string {
+	switch m {
+	case ChaosHealthy:
+		return "healthy"
+	case ChaosError:
+		return "error"
+	case ChaosPanic:
+		return "panic"
+	case ChaosHang:
+		return "hang"
+	case ChaosHardHang:
+		return "hard-hang"
+	case ChaosSpin:
+		return "spin"
+	case ChaosFlaky:
+		return "flaky"
+	default:
+		return fmt.Sprintf("ChaosMode(%d)", int(m))
+	}
+}
+
+// ChaosSpec is one misbehaving fake experiment.
+type ChaosSpec struct {
+	// ID names the fake in manifests and artifacts.
+	ID string
+	// Mode selects the misbehavior.
+	Mode ChaosMode
+	// BaseSeed is the seed ChaosFlaky fails on; any other seed
+	// succeeds.
+	BaseSeed uint64
+}
+
+// Execute performs the spec's misbehavior. ctx bounds the run (honored
+// by every mode except ChaosHardHang), seed is the run's seed, and
+// stepBudget (when positive) arms the spun engine's watchdog so
+// ChaosSpin trips sim.ErrBudgetExceeded instead of spinning until the
+// deadline. On success it returns a short human-readable summary.
+func (s ChaosSpec) Execute(ctx context.Context, seed uint64, stepBudget int64) (string, error) {
+	switch s.Mode {
+	case ChaosHealthy:
+		return s.spinEngine(ctx, 512, stepBudget)
+	case ChaosError:
+		return "", fmt.Errorf("chaos %s: injected failure (seed %#x)", s.ID, seed)
+	case ChaosPanic:
+		panic(fmt.Sprintf("chaos %s: injected panic (seed %#x)", s.ID, seed))
+	case ChaosHang:
+		<-ctx.Done()
+		return "", ctx.Err()
+	case ChaosHardHang:
+		select {} // unreachable exit; the supervisor must abandon us
+	case ChaosSpin:
+		return s.spinEngine(ctx, 0, stepBudget)
+	case ChaosFlaky:
+		if seed == s.BaseSeed {
+			return "", fmt.Errorf("chaos %s: flaky failure on base seed %#x", s.ID, seed)
+		}
+		return fmt.Sprintf("chaos %s: recovered by reseed to %#x", s.ID, seed), nil
+	default:
+		return "", fmt.Errorf("chaos %s: unknown mode %d", s.ID, int(s.Mode))
+	}
+}
+
+// spinEngine drives a private engine for ticks steps (0 = unbounded: a
+// picosecond ticker across an enormous window, the runaway-simulation
+// shape).
+func (s ChaosSpec) spinEngine(ctx context.Context, ticks int64, stepBudget int64) (string, error) {
+	e := sim.NewEngine()
+	fired := int64(0)
+	e.Add(&sim.Ticker{Name: "chaos-" + s.ID, Period: sim.Picosecond, Fn: func(sim.Time) { fired++ }})
+	window := sim.Time(ticks)
+	if ticks <= 0 {
+		e.SetStepBudget(stepBudget)
+		window = 100 * 24 * 3600 * sim.Second
+	}
+	if err := e.RunContext(ctx, window); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("chaos %s: completed %d ticks", s.ID, fired), nil
+}

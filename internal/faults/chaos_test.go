@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestChaosHealthyCompletes(t *testing.T) {
+	msg, err := ChaosSpec{ID: "ok", Mode: ChaosHealthy}.Execute(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatalf("healthy: %v", err)
+	}
+	if !strings.Contains(msg, "512 ticks") {
+		t.Errorf("healthy message = %q, want a 512-tick completion", msg)
+	}
+}
+
+func TestChaosErrorAndFlaky(t *testing.T) {
+	if _, err := (ChaosSpec{ID: "boom", Mode: ChaosError}).Execute(context.Background(), 7, 0); err == nil {
+		t.Fatal("error mode returned nil error")
+	}
+	flaky := ChaosSpec{ID: "fl", Mode: ChaosFlaky, BaseSeed: 42}
+	if _, err := flaky.Execute(context.Background(), 42, 0); err == nil {
+		t.Fatal("flaky succeeded on its base seed")
+	}
+	if _, err := flaky.Execute(context.Background(), 43, 0); err != nil {
+		t.Fatalf("flaky failed on a reseed: %v", err)
+	}
+}
+
+func TestChaosPanicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic mode did not panic")
+		}
+	}()
+	ChaosSpec{ID: "p", Mode: ChaosPanic}.Execute(context.Background(), 1, 0)
+}
+
+func TestChaosHangHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := ChaosSpec{ID: "h", Mode: ChaosHang}.Execute(ctx, 1, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang under deadline = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestChaosSpinTripsStepBudget(t *testing.T) {
+	_, err := ChaosSpec{ID: "s", Mode: ChaosSpin}.Execute(context.Background(), 1, 50_000)
+	if !errors.Is(err, sim.ErrBudgetExceeded) {
+		t.Fatalf("spin under budget = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestChaosSpinHonorsDeadlineWithoutBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ChaosSpec{ID: "s", Mode: ChaosSpin}.Execute(ctx, 1, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("spin under deadline = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("spin ran %v past a 30ms deadline", elapsed)
+	}
+}

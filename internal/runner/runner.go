@@ -1,0 +1,448 @@
+// Package runner is the supervised orchestration layer for the paper's
+// experiment sweeps. Where `ufsim -experiment all` used to execute every
+// experiment serially and abort the whole sweep on the first error, the
+// runner executes any set of experiments.Experiment over a bounded worker
+// pool and survives the individual failure modes a long parameter sweep
+// actually hits:
+//
+//   - Deadlines: each attempt runs under its own context.Context with an
+//     optional wall-clock timeout; cancellation reaches the simulation
+//     hot loop because every machine an experiment builds is bound to the
+//     run context (sim.Engine.RunContext), and an optional per-machine
+//     step budget converts runaway engines into typed errors.
+//   - Panic isolation: a panicking experiment is recovered in its own
+//     goroutine, recorded with its stack, and does not kill the sweep.
+//   - Bounded retry with reseeding: a failed run is retried up to
+//     Retries times, each attempt reseeded by a configurable policy, so
+//     seed-sensitive failures are absorbed without hiding real bugs.
+//   - Crash artifacts: the final failure of an experiment writes a
+//     deterministic JSON artifact (ID, seeds, options, error, stack,
+//     truncated run log, replay command) sufficient to reproduce the
+//     exact run.
+//   - Sweep manifest: progress is checkpointed to a JSON manifest after
+//     every completion; a Resume run skips experiments already done
+//     under the same seed/quick configuration and re-runs only the
+//     failures and the never-started.
+//   - Graceful cancellation: cancelling the parent context (e.g. on
+//     SIGINT) stops new work, cancels in-flight runs, and still yields a
+//     complete summary of done/failed/skipped.
+//
+// The chaos specs in internal/faults exercise every one of these paths;
+// see the package tests.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// Status classifies one experiment's outcome in a sweep.
+type Status string
+
+const (
+	// StatusDone means the experiment completed and rendered a result.
+	StatusDone Status = "done"
+	// StatusFailed means every attempt failed; a crash artifact exists
+	// if an artifact directory was configured.
+	StatusFailed Status = "failed"
+	// StatusSkipped means the sweep was cancelled (or stopped by an
+	// earlier failure without KeepGoing) before the experiment ran to
+	// completion.
+	StatusSkipped Status = "skipped"
+)
+
+// Config tunes a sweep.
+type Config struct {
+	// Jobs is the worker-pool width; values below 1 mean 1.
+	Jobs int
+	// Timeout bounds each attempt's wall-clock time; 0 means unbounded.
+	Timeout time.Duration
+	// Grace is how long after an attempt's context is done the
+	// supervisor waits for the run to return before abandoning its
+	// goroutine (only a run that ignores its context — a hard hang —
+	// ever gets abandoned). Zero means 2s.
+	Grace time.Duration
+	// Retries is how many times a failed experiment is re-attempted.
+	Retries int
+	// Reseed derives attempt seeds: attempt 0 must return base. Nil
+	// installs DefaultReseed.
+	Reseed func(base uint64, attempt int) uint64
+	// KeepGoing continues the sweep past failures; without it the first
+	// failure cancels the remaining experiments (they report skipped).
+	KeepGoing bool
+
+	// Seed and Quick are forwarded into experiments.Options.
+	Seed  uint64
+	Quick bool
+	// MaxEngineSteps arms every experiment machine's step watchdog; 0
+	// leaves runaway engines to the Timeout.
+	MaxEngineSteps int64
+
+	// ArtifactDir, when non-empty, receives crash artifacts and the
+	// sweep manifest (manifest.json). Empty disables both.
+	ArtifactDir string
+	// Resume loads ArtifactDir's manifest and skips experiments already
+	// done under the same Seed/Quick; failures and never-started
+	// experiments re-run.
+	Resume bool
+
+	// Log receives the runner's progress lines; nil discards them.
+	Log io.Writer
+	// OnResult, when non-nil, observes each report as its experiment
+	// finishes (serialized; safe to render from).
+	OnResult func(Report)
+}
+
+// DefaultReseed is the retry reseeding policy: attempt 0 keeps the base
+// seed (so recorded results are reproduced), and each retry mixes the
+// attempt number in with a splitmix64-style odd constant so a
+// seed-sensitive failure gets a genuinely different platform.
+func DefaultReseed(base uint64, attempt int) uint64 {
+	if attempt == 0 {
+		return base
+	}
+	return base ^ (uint64(attempt) * 0x9E3779B97F4A7C15)
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	// Status is the outcome class; Cached marks a StatusDone satisfied
+	// from the resume manifest without re-running.
+	Status Status
+	Cached bool
+	// Attempts counts runs actually started; Seed is the last attempt's
+	// seed.
+	Attempts int
+	Seed     uint64
+	// Err is the final error for failed/skipped reports.
+	Err error
+	// Result is the rendered outcome for done reports (nil when
+	// Cached).
+	Result experiments.Result
+	// Duration is the wall-clock time across all attempts.
+	Duration time.Duration
+	// Artifact is the crash-artifact path for failed reports.
+	Artifact string
+	// Abandoned marks a run whose goroutine ignored its context past
+	// the grace window and was left behind (a leaked goroutine).
+	Abandoned bool
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Done, Failed, Skipped int
+	// Cached counts the Done reports satisfied from the resume
+	// manifest.
+	Cached int
+	// Reports holds every outcome, sorted by experiment ID.
+	Reports []Report
+}
+
+// String renders the one-line sweep verdict.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d done (%d cached), %d failed, %d skipped", s.Done, s.Cached, s.Failed, s.Skipped)
+}
+
+// FirstFailure returns the first failed report by ID order, if any.
+func (s Summary) FirstFailure() (Report, bool) {
+	for _, r := range s.Reports {
+		if r.Status == StatusFailed {
+			return r, true
+		}
+	}
+	return Report{}, false
+}
+
+// PanicError is a recovered experiment panic.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// ErrAbandoned marks a run that ignored its cancelled context past the
+// grace window; its goroutine is leaked.
+var ErrAbandoned = errors.New("runner: run ignored cancellation and was abandoned")
+
+// Run executes exps over the worker pool and returns the sweep summary.
+// It returns a non-nil error only for orchestration failures (an
+// unusable artifact directory); experiment failures are reported in the
+// summary, per-experiment.
+func Run(ctx context.Context, cfg Config, exps []experiments.Experiment) (Summary, error) {
+	if cfg.Jobs < 1 {
+		cfg.Jobs = 1
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = 2 * time.Second
+	}
+	if cfg.Reseed == nil {
+		cfg.Reseed = DefaultReseed
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+
+	var man *manifest
+	if cfg.ArtifactDir != "" {
+		var err error
+		man, err = openManifest(cfg.ArtifactDir, cfg.Seed, cfg.Quick, cfg.Resume)
+		if err != nil {
+			return Summary{}, err
+		}
+		if cfg.Resume && len(man.Experiments) > 0 {
+			fmt.Fprintf(logw, "resuming from %s (%d recorded outcomes)\n", man.path, len(man.Experiments))
+		}
+	}
+
+	// sweepCtx cancels the remaining work on the first failure when
+	// KeepGoing is off; the parent ctx (SIGINT) cancels through it.
+	sweepCtx, cancelSweep := context.WithCancel(ctx)
+	defer cancelSweep()
+
+	var (
+		mu  sync.Mutex // guards sum, manifest writes, and OnResult
+		sum Summary
+	)
+	record := func(rep Report) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch rep.Status {
+		case StatusDone:
+			sum.Done++
+			if rep.Cached {
+				sum.Cached++
+			}
+		case StatusFailed:
+			sum.Failed++
+		case StatusSkipped:
+			sum.Skipped++
+		}
+		sum.Reports = append(sum.Reports, rep)
+		if man != nil {
+			if err := man.record(rep); err != nil {
+				fmt.Fprintf(logw, "warning: manifest update failed: %v\n", err)
+			}
+		}
+		if cfg.OnResult != nil {
+			cfg.OnResult(rep)
+		}
+	}
+
+	jobs := make(chan experiments.Experiment)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range jobs {
+				if err := sweepCtx.Err(); err != nil {
+					record(Report{ID: e.ID, Title: e.Title, Status: StatusSkipped, Seed: cfg.Seed, Err: err})
+					continue
+				}
+				rep := supervise(sweepCtx, cfg, e, logw)
+				record(rep)
+				if rep.Status == StatusFailed && !cfg.KeepGoing {
+					cancelSweep()
+				}
+			}
+		}()
+	}
+
+	for _, e := range exps {
+		if man != nil && cfg.Resume && man.completed(e.ID) {
+			record(Report{ID: e.ID, Title: e.Title, Status: StatusDone, Cached: true, Seed: cfg.Seed})
+			fmt.Fprintf(logw, "== %s: done in a previous sweep, skipping\n", e.ID)
+			continue
+		}
+		jobs <- e
+	}
+	close(jobs)
+	wg.Wait()
+
+	sort.Slice(sum.Reports, func(i, j int) bool { return sum.Reports[i].ID < sum.Reports[j].ID })
+	return sum, nil
+}
+
+// supervise runs one experiment through the full attempt loop: deadline,
+// panic recovery, bounded reseeding retries, and crash-artifact capture.
+func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw io.Writer) Report {
+	rep := Report{ID: e.ID, Title: e.Title, Seed: cfg.Seed}
+	rlog := &runLog{max: 16 << 10}
+	start := time.Now()
+
+	var seeds []uint64
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			// Cancelled between attempts: the sweep is shutting down.
+			rep.Err = err
+			break
+		}
+		seed := cfg.Reseed(cfg.Seed, attempt)
+		rep.Seed = seed
+		seeds = append(seeds, seed)
+		if attempt > 0 {
+			fmt.Fprintf(logw, "== %s: retry %d/%d with seed %#x\n", e.ID, attempt, cfg.Retries, seed)
+			fmt.Fprintf(rlog, "retry %d/%d with seed %#x\n", attempt, cfg.Retries, seed)
+		}
+		res, abandoned, err := attempt1(ctx, cfg, e, seed, rlog)
+		rep.Attempts++
+		rep.Abandoned = rep.Abandoned || abandoned
+		if err == nil {
+			rep.Status = StatusDone
+			rep.Result = res
+			rep.Duration = time.Since(start)
+			return rep
+		}
+		rep.Err = err
+		fmt.Fprintf(rlog, "attempt %d failed: %v\n", attempt, err)
+		if ctx.Err() != nil {
+			break // the sweep is cancelled; don't burn retries on it
+		}
+	}
+	rep.Duration = time.Since(start)
+
+	if errors.Is(rep.Err, context.Canceled) && ctx.Err() != nil {
+		// Not this experiment's fault: the sweep was cancelled under it.
+		rep.Status = StatusSkipped
+		return rep
+	}
+	rep.Status = StatusFailed
+	if cfg.ArtifactDir != "" {
+		path, werr := writeCrashArtifact(cfg.ArtifactDir, crashArtifact(cfg, e, seeds, rep, rlog.String()))
+		if werr != nil {
+			fmt.Fprintf(logw, "warning: %s: crash artifact not written: %v\n", e.ID, werr)
+		} else {
+			rep.Artifact = path
+		}
+	}
+	return rep
+}
+
+// attempt1 executes one attempt in its own goroutine under its own
+// deadline, recovering panics and unwrapping engine aborts. The
+// abandoned return is true when the run ignored its cancelled context
+// past the grace window and its goroutine was left behind.
+func attempt1(ctx context.Context, cfg Config, e experiments.Experiment, seed uint64, rlog *runLog) (res experiments.Result, abandoned bool, err error) {
+	var actx context.Context
+	var cancel context.CancelFunc
+	if cfg.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	opts := experiments.Options{
+		Seed:           seed,
+		Quick:          cfg.Quick,
+		Context:        actx,
+		Log:            rlog,
+		MaxEngineSteps: cfg.MaxEngineSteps,
+	}
+
+	type outcome struct {
+		res experiments.Result
+		err error
+	}
+	done := make(chan outcome, 1) // buffered: an abandoned run's late send must not block
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if cause, ok := sim.AbortCause(r); ok {
+					// An engine abort is cancellation or a tripped
+					// budget surfacing through error-free simulation
+					// interfaces — a bounded run, not a bug.
+					done <- outcome{err: cause}
+					return
+				}
+				done <- outcome{err: &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		r, err := e.Run(opts)
+		done <- outcome{res: r, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		return out.res, false, out.err
+	case <-actx.Done():
+	}
+	// The deadline (or sweep cancellation) hit; a cooperative run
+	// returns promptly once its engine observes the context.
+	grace := time.NewTimer(cfg.Grace)
+	defer grace.Stop()
+	select {
+	case out := <-done:
+		return out.res, false, out.err
+	case <-grace.C:
+		return nil, true, fmt.Errorf("%w (no return %v after %v deadline)", ErrAbandoned, cfg.Grace, cfg.Timeout)
+	}
+}
+
+// runLog is the bounded, mutex-protected per-run log sink. The mutex
+// matters: an abandoned goroutine may still write while the supervisor
+// snapshots the log for a crash artifact.
+type runLog struct {
+	mu  sync.Mutex
+	buf []byte
+	max int
+}
+
+// Write implements io.Writer, keeping only the newest max bytes.
+func (l *runLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = append(l.buf, p...)
+	if len(l.buf) > l.max {
+		l.buf = append(l.buf[:0], l.buf[len(l.buf)-l.max:]...)
+	}
+	return len(p), nil
+}
+
+// String snapshots the captured tail.
+func (l *runLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return string(l.buf)
+}
+
+// ChaosResult is the trivial Result chaos experiments render.
+type ChaosResult string
+
+// Render implements experiments.Result.
+func (r ChaosResult) Render(w io.Writer) error {
+	_, err := fmt.Fprintln(w, string(r))
+	return err
+}
+
+// ChaosExperiment adapts a faults.ChaosSpec into an Experiment so the
+// chaos suite can ride through the same supervision path as the real
+// sweeps. (The adapter lives here and not in internal/faults because
+// the experiments package imports faults.)
+func ChaosExperiment(spec faults.ChaosSpec) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    spec.ID,
+		Title: "chaos: " + spec.Mode.String(),
+		Run: func(o experiments.Options) (experiments.Result, error) {
+			msg, err := spec.Execute(o.Ctx(), o.Seed, o.MaxEngineSteps)
+			if err != nil {
+				return nil, err
+			}
+			return ChaosResult(msg), nil
+		},
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -26,6 +28,54 @@ type Ticker struct {
 	next Time
 }
 
+// ErrBudgetExceeded is returned (wrapped in a *BudgetError) by RunContext
+// when the engine's step watchdog trips. A runaway simulation — a ticker
+// misconfigured to a tiny period, or a run window far longer than intended
+// — otherwise spins for an unbounded number of ticks; the budget converts
+// that hang into a typed, inspectable error.
+var ErrBudgetExceeded = errors.New("sim: engine step budget exceeded")
+
+// BudgetError reports a tripped step watchdog. It matches
+// ErrBudgetExceeded under errors.Is.
+type BudgetError struct {
+	// Steps is the lifetime tick count at the moment the budget tripped;
+	// Budget is the configured limit.
+	Steps, Budget int64
+	// Now is the virtual time the engine had reached.
+	Now Time
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: engine step budget exceeded (%d ticks fired, budget %d, at t=%v)", e.Steps, e.Budget, e.Now)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) true for *BudgetError.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// Abort is the panic value Run uses when the engine's bound context is
+// cancelled or its step budget trips mid-run. Run predates cancellation
+// and keeps its error-free signature for the many simulation call sites
+// that cannot fail; a supervisor that needs the typed cause recovers the
+// panic and unwraps it with AbortCause.
+type Abort struct{ Err error }
+
+func (a Abort) Error() string { return "sim: run aborted: " + a.Err.Error() }
+
+// AbortCause extracts the abort error from a recovered panic value. It
+// returns (nil, false) when r is not an engine abort.
+func AbortCause(r any) (error, bool) {
+	if a, ok := r.(Abort); ok {
+		return a.Err, true
+	}
+	return nil, false
+}
+
+// ctxCheckEvery is how many ticks RunContext fires between context
+// checks. Cancellation is therefore honored within this many engine
+// steps of the deadline — a bounded, documented lag, chosen so the
+// atomic load on the context does not show up in the hot loop.
+const ctxCheckEvery = 64
+
 // Engine drives virtual time forward through a set of periodic tickers.
 // It is intentionally minimal: the simulator has a small, fixed set of
 // rates (workload quantum, governor epoch, trace samplers), so a full event
@@ -33,6 +83,20 @@ type Ticker struct {
 type Engine struct {
 	now     Time
 	tickers []*Ticker
+
+	// firing marks that the engine is inside one instant's dispatch
+	// loop; Add defers insertions to pending until the instant
+	// completes so the priority re-sort cannot shuffle the slice the
+	// dispatch loop is iterating.
+	firing  bool
+	pending []*Ticker
+
+	// ctx is the bound context consulted by Run; nil means Background.
+	ctx context.Context
+	// steps counts ticks fired over the engine's lifetime; budget (when
+	// positive) is the watchdog limit on steps.
+	steps  int64
+	budget int64
 }
 
 // NewEngine returns an engine positioned at virtual time zero.
@@ -41,13 +105,42 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Steps returns the number of ticks fired over the engine's lifetime.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Bind installs a context consulted by Run: when ctx is cancelled (or the
+// step budget trips) mid-run, Run panics with an Abort carrying the
+// cause. Binding lets a supervisor cut short deeply nested simulation
+// code that calls Run through error-free interfaces; code that can return
+// errors should prefer RunContext. A nil ctx unbinds.
+func (e *Engine) Bind(ctx context.Context) { e.ctx = ctx }
+
+// SetStepBudget arms the watchdog: once the lifetime tick count reaches
+// budget, RunContext returns a *BudgetError (and Run panics with it,
+// wrapped in an Abort). A non-positive budget disarms the watchdog.
+func (e *Engine) SetStepBudget(budget int64) { e.budget = budget }
+
 // Add registers a ticker. It panics on a non-positive period, because a
 // zero-period ticker would stall virtual time.
+//
+// Contract for mid-run additions: a ticker added from inside another
+// ticker's Fn joins the schedule once the current instant's dispatch
+// completes — it can never fire at the instant that registered it — and
+// its first tick is at now + Phase + Period, where now is the instant of
+// the registering tick.
 func (e *Engine) Add(t *Ticker) {
 	if t.Period <= 0 {
 		panic(fmt.Sprintf("sim: ticker %q has non-positive period %v", t.Name, t.Period))
 	}
 	t.next = e.now + t.Phase + t.Period
+	if e.firing {
+		e.pending = append(e.pending, t)
+		return
+	}
+	e.insert(t)
+}
+
+func (e *Engine) insert(t *Ticker) {
 	e.tickers = append(e.tickers, t)
 	sort.SliceStable(e.tickers, func(i, j int) bool {
 		return e.tickers[i].Priority < e.tickers[j].Priority
@@ -56,12 +149,33 @@ func (e *Engine) Add(t *Ticker) {
 
 // Run advances virtual time by d, firing every tick that falls in the
 // window (start, start+d]. Ticks at the same instant fire in priority
-// order.
+// order. If the engine has a bound context that is cancelled mid-run, or
+// the step budget trips, Run panics with an Abort (see Bind).
 func (e *Engine) Run(d Time) {
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.RunContext(ctx, d); err != nil {
+		panic(Abort{Err: err})
+	}
+}
+
+// RunContext advances virtual time by d like Run, but checks ctx every
+// ctxCheckEvery ticks and the step watchdog on every tick. On
+// cancellation it returns ctx.Err(); on a tripped watchdog it returns a
+// *BudgetError (matching ErrBudgetExceeded). Either way the engine stops
+// at the last fully dispatched instant, so a subsequent run resumes
+// without double-firing.
+func (e *Engine) RunContext(ctx context.Context, d Time) error {
 	if d < 0 {
 		panic("sim: cannot run the engine backwards")
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	end := e.now + d
+	sinceCheck := 0
 	for {
 		// Find the earliest pending tick within the window.
 		var nxt *Ticker
@@ -79,13 +193,33 @@ func (e *Engine) Run(d Time) {
 		at := nxt.next
 		e.now = at
 		// Fire every ticker scheduled for this instant, in priority
-		// order (tickers are kept priority-sorted).
+		// order (tickers are kept priority-sorted). Additions made by a
+		// Fn are deferred to pending so the re-sort in insert cannot
+		// reorder this slice mid-iteration.
+		e.firing = true
 		for _, t := range e.tickers {
 			if t.next == at {
 				t.Fn(at)
 				t.next = at + t.Period
+				e.steps++
+				sinceCheck++
+			}
+		}
+		e.firing = false
+		for _, t := range e.pending {
+			e.insert(t)
+		}
+		e.pending = e.pending[:0]
+		if e.budget > 0 && e.steps >= e.budget {
+			return &BudgetError{Steps: e.steps, Budget: e.budget, Now: e.now}
+		}
+		if sinceCheck >= ctxCheckEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return err
 			}
 		}
 	}
 	e.now = end
+	return nil
 }

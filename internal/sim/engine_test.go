@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestEngineFiresInWindow(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Add(&Ticker{Name: "a", Period: 10 * Millisecond, Fn: func(now Time) { got = append(got, now) }})
+	e.Run(35 * Millisecond)
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d ticks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if e.Now() != 35*Millisecond {
+		t.Errorf("Now() = %v, want 35ms", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("Steps() = %d, want 3", e.Steps())
+	}
+}
+
+func TestEnginePriorityOrderAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Add(&Ticker{Name: "late", Period: Millisecond, Priority: 10, Fn: func(Time) { order = append(order, "late") }})
+	e.Add(&Ticker{Name: "early", Period: Millisecond, Priority: -10, Fn: func(Time) { order = append(order, "early") }})
+	e.Run(Millisecond)
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("firing order = %v, want [early late]", order)
+	}
+}
+
+// A ticker added from inside a tick callback must join the schedule with
+// its first tick at registering-instant + Phase + Period, must not fire at
+// the instant that registered it, and must not disturb the dispatch of
+// the instant in progress (the old implementation re-sorted the ticker
+// slice mid-iteration, which could skip or double-fire colliding tickers).
+func TestEngineAddDuringRun(t *testing.T) {
+	e := NewEngine()
+	var childTicks []Time
+	added := false
+	e.Add(&Ticker{Name: "parent", Period: 10 * Millisecond, Fn: func(now Time) {
+		if !added {
+			added = true
+			// Highest urgency: would sort to the front of the slice if
+			// inserted immediately.
+			e.Add(&Ticker{Name: "child", Period: 3 * Millisecond, Priority: -100, Fn: func(at Time) {
+				childTicks = append(childTicks, at)
+			}})
+		}
+	}})
+	e.Run(20 * Millisecond)
+	// Registered at t=10ms, so the child ticks at 13, 16, 19 ms.
+	want := []Time{13 * Millisecond, 16 * Millisecond, 19 * Millisecond}
+	if len(childTicks) != len(want) {
+		t.Fatalf("child fired %d times (%v), want %d", len(childTicks), childTicks, len(want))
+	}
+	for i := range want {
+		if childTicks[i] != want[i] {
+			t.Errorf("child tick %d at %v, want %v", i, childTicks[i], want[i])
+		}
+	}
+}
+
+// Colliding tickers must all fire exactly once per shared instant even
+// when one of them registers a new high-priority ticker mid-dispatch.
+func TestEngineAddDuringRunNoDoubleFire(t *testing.T) {
+	e := NewEngine()
+	counts := map[string]int{}
+	mk := func(name string, prio int) *Ticker {
+		return &Ticker{Name: name, Period: Millisecond, Priority: prio, Fn: func(Time) { counts[name]++ }}
+	}
+	e.Add(&Ticker{Name: "spawner", Period: Millisecond, Priority: 0, Fn: func(Time) {
+		counts["spawner"]++
+		if counts["spawner"] == 1 {
+			e.Add(mk("injected", -50))
+		}
+	}})
+	e.Add(mk("b", 5))
+	e.Add(mk("c", 9))
+	e.Run(4 * Millisecond)
+	for name, want := range map[string]int{"spawner": 4, "b": 4, "c": 4, "injected": 3} {
+		if counts[name] != want {
+			t.Errorf("%s fired %d times, want %d", name, counts[name], want)
+		}
+	}
+}
+
+func TestEngineRunContextCancel(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Add(&Ticker{Name: "spin", Period: Microsecond, Fn: func(Time) { fired++ }})
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 5 * ctxCheckEvery
+	e.Add(&Ticker{Name: "trip", Period: Microsecond, Priority: 1, Fn: func(Time) {
+		if fired == stopAt {
+			cancel()
+		}
+	}})
+	err := e.RunContext(ctx, Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	// Cancellation is honored within one check window.
+	if fired > stopAt+ctxCheckEvery {
+		t.Errorf("fired %d ticks after cancel at %d; check lag exceeds one window", fired, stopAt)
+	}
+	// The engine stops on a dispatched instant, so a later run resumes
+	// without double-firing.
+	before := fired
+	if err := e.RunContext(context.Background(), 10*Microsecond); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if fired != before+10 {
+		t.Errorf("resume fired %d ticks, want 10", fired-before)
+	}
+}
+
+func TestEngineRunContextPreCancelled(t *testing.T) {
+	e := NewEngine()
+	e.Add(&Ticker{Name: "spin", Period: Microsecond, Fn: func(Time) { t.Fatal("ticker fired under a cancelled context") }})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunContext(ctx, Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineStepBudget(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Add(&Ticker{Name: "runaway", Period: Picosecond, Fn: func(Time) { fired++ }})
+	e.SetStepBudget(1000)
+	err := e.RunContext(context.Background(), Second)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("RunContext = %v, want *BudgetError", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Error("BudgetError does not match ErrBudgetExceeded")
+	}
+	if fired != 1000 || be.Steps != 1000 || be.Budget != 1000 {
+		t.Errorf("fired=%d Steps=%d Budget=%d, want 1000 each", fired, be.Steps, be.Budget)
+	}
+}
+
+func TestEngineRunPanicsWithAbortWhenBound(t *testing.T) {
+	e := NewEngine()
+	e.Add(&Ticker{Name: "runaway", Period: Picosecond, Fn: func(Time) {}})
+	e.SetStepBudget(10)
+	defer func() {
+		cause, ok := AbortCause(recover())
+		if !ok {
+			t.Fatal("Run did not panic with sim.Abort")
+		}
+		if !errors.Is(cause, ErrBudgetExceeded) {
+			t.Fatalf("abort cause = %v, want ErrBudgetExceeded", cause)
+		}
+	}()
+	e.Run(Second)
+}
+
+func TestEngineBindContext(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Bind(ctx)
+	e.Add(&Ticker{Name: "spin", Period: Microsecond, Fn: func(Time) {}})
+	defer func() {
+		cause, ok := AbortCause(recover())
+		if !ok || !errors.Is(cause, context.Canceled) {
+			t.Fatalf("Run under a cancelled bound context: recovered %v", cause)
+		}
+	}()
+	e.Run(Second)
+}

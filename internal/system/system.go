@@ -13,6 +13,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -241,8 +242,26 @@ func (m *Machine) Sockets() []*Socket { return m.sockets }
 // Socket returns socket i.
 func (m *Machine) Socket(i int) *Socket { return m.sockets[i] }
 
-// Run advances virtual time by d.
+// Run advances virtual time by d. If the machine has a bound context
+// that is cancelled mid-run, or its step budget trips, Run panics with a
+// sim.Abort (see Bind).
 func (m *Machine) Run(d sim.Time) { m.engine.Run(d) }
+
+// RunContext advances virtual time by d, returning ctx.Err() on
+// cancellation or a sim.ErrBudgetExceeded error when the step watchdog
+// trips, instead of panicking.
+func (m *Machine) RunContext(ctx context.Context, d sim.Time) error {
+	return m.engine.RunContext(ctx, d)
+}
+
+// Bind installs a context consulted by Run, so a supervisor can cut
+// short simulation code that advances the machine through error-free
+// interfaces. See sim.Engine.Bind for the abort contract.
+func (m *Machine) Bind(ctx context.Context) { m.engine.Bind(ctx) }
+
+// SetStepBudget arms the engine's step watchdog; see
+// sim.Engine.SetStepBudget.
+func (m *Machine) SetStepBudget(budget int64) { m.engine.SetStepBudget(budget) }
 
 // Thread is a software thread pinned to a core.
 type Thread struct {
