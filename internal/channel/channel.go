@@ -75,7 +75,11 @@ type Result struct {
 }
 
 // Evaluate fills the derived fields of a result from its bits and
-// interval.
+// interval. The bit strings need not be the same length: following the
+// stats.ErrorRate contract, a truncated receive counts its missing tail
+// as errors and an over-long receive counts its excess bits as errors,
+// normalised by the longer string — so a channel that loses framing
+// cannot report a flattering BER over the prefix it happened to deliver.
 func Evaluate(sent, received Bits, interval sim.Time) Result {
 	ber := stats.ErrorRate(sent, received)
 	rate := 1 / interval.Seconds()

@@ -81,6 +81,36 @@ func TestEvaluate(t *testing.T) {
 	}
 }
 
+// TestEvaluateMismatchedLengths pins the truncation contract: a receive
+// that is shorter or longer than the payload scores its unmatched bits
+// as errors instead of panicking or trimming.
+func TestEvaluateMismatchedLengths(t *testing.T) {
+	iv := 25 * sim.Millisecond
+	cases := []struct {
+		name      string
+		sent, got Bits
+		wantBER   float64
+	}{
+		{"truncated clean prefix", Bits{1, 0, 1, 0}, Bits{1, 0}, 0.5},
+		{"truncated dirty prefix", Bits{1, 0, 1, 0}, Bits{0, 0}, 0.75},
+		{"nothing received", Bits{1, 0, 1, 0}, nil, 1},
+		{"over-long receive", Bits{1, 0}, Bits{1, 0, 1, 1}, 0.5},
+	}
+	for _, c := range cases {
+		res := Evaluate(c.sent, c.got, iv)
+		if res.BER != c.wantBER {
+			t.Errorf("%s: BER = %v, want %v", c.name, res.BER, c.wantBER)
+		}
+		if res.BER < 0 || res.BER > 1 {
+			t.Errorf("%s: BER %v outside [0, 1]", c.name, res.BER)
+		}
+	}
+	// A fully lost payload must never be reported as functional.
+	if Evaluate(Bits{1, 0, 1, 1, 0, 1}, nil, iv).Functional() {
+		t.Error("empty receive reported functional")
+	}
+}
+
 func TestFunctionalThreshold(t *testing.T) {
 	// The Table 3 criterion: below a third is still "distinguishable",
 	// chance level is not.

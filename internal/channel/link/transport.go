@@ -43,6 +43,50 @@ type Idler interface {
 	Idle(d sim.Time)
 }
 
+// SyncPhy is implemented by phys with a self-synchronizing receiver
+// (ufvariation.LinkPhy with Track enabled). It lets the transport
+// distinguish a corrupted-but-synced reception from a desynchronized
+// one and recover each differently: retransmitting into a desynced
+// receiver fails identically every time, so the transport escalates to
+// resynchronization instead.
+type SyncPhy interface {
+	// SyncState reports whether symbol tracking is enabled and whether
+	// the last reception ended in symbol lock.
+	SyncState() (tracking, locked bool)
+	// Reacquire drops the synchronization state carried across
+	// transmissions (phase and clock-error estimates), forcing the next
+	// pilot reception to run a full frame acquisition.
+	Reacquire()
+}
+
+// Verdict classifies one reception at the transport layer.
+type Verdict int
+
+const (
+	// VerdictOK: the frame deframed with the expected sequence number.
+	VerdictOK Verdict = iota
+	// VerdictCorrupted: the frame failed to deframe but the receiver's
+	// symbol clock was in lock — bit errors, worth a retransmission.
+	VerdictCorrupted
+	// VerdictDesynced: the frame failed and the receiver reports loss
+	// of symbol lock — the stream was demodulated at the wrong phase,
+	// and a blind retransmission would fail the same way.
+	VerdictDesynced
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictCorrupted:
+		return "corrupted"
+	case VerdictDesynced:
+		return "desynced"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
 // TransportConfig tunes the ARQ machine. The zero value of any field
 // falls back to the DefaultTransportConfig value.
 type TransportConfig struct {
@@ -116,8 +160,9 @@ type FrameStats struct {
 	Seq   byte
 	Bytes int
 	// Attempts is the total number of transmissions (1 = no
-	// retransmission); Nacks how many failed to deframe.
-	Attempts, Nacks int
+	// retransmission); Nacks how many failed to deframe; Desyncs the
+	// subset of failures where the receiver was out of symbol lock.
+	Attempts, Nacks, Desyncs int
 	// Corrections is the total ECC corrections across all attempts.
 	Corrections int
 	// Pilots is how many attempts carried a recalibration preamble.
@@ -143,6 +188,10 @@ type TransportStats struct {
 	// Recalibrations counts pilot transmissions; Degradations counts
 	// bit-interval doublings.
 	Recalibrations, Degradations int
+	// Desyncs counts receptions the phy reported out of symbol lock;
+	// Reacquisitions counts full acquisition resets the desync
+	// escalation ordered.
+	Desyncs, Reacquisitions int
 	// BitsOnAir is the raw frame bits transmitted (excluding pilots
 	// and acknowledgements); BackoffBits the idle bit intervals spent
 	// in retransmission backoff.
@@ -188,6 +237,7 @@ func (t *Transport) Send(data []byte) ([]byte, TransportStats, error) {
 		delivered := false // receiver-side: frame content accepted
 		retries := 0       // attempts at the current rate
 		streak := 0        // consecutive failures of this frame
+		desyncStreak := 0  // consecutive desynced verdicts of this frame
 		for {
 			fs.Attempts++
 			stats.Transmissions++
@@ -219,7 +269,16 @@ func (t *Transport) Send(data []byte) ([]byte, TransportStats, error) {
 				// the next transmission.
 				t.pilotWanted = true
 			}
-			ok := derr == nil && rseq == seq
+			verdict := VerdictOK
+			if derr != nil || rseq != seq {
+				verdict = VerdictCorrupted
+				if sp, isSync := t.phy.(SyncPhy); isSync {
+					if tracking, locked := sp.SyncState(); tracking && !locked {
+						verdict = VerdictDesynced
+					}
+				}
+			}
+			ok := verdict == VerdictOK
 			if ok && delivered {
 				// Duplicate after a lost acknowledgement: the receiver
 				// recognises the sequence number, discards the copy,
@@ -245,7 +304,39 @@ func (t *Transport) Send(data []byte) ([]byte, TransportStats, error) {
 			// the current one keeps failing.
 			retries++
 			streak++
-			if retries > t.cfg.RetriesPerRate {
+			forceDegrade := false
+			if verdict == VerdictDesynced {
+				fs.Desyncs++
+				stats.Desyncs++
+				desyncStreak++
+				// Desync escalation: a blind retransmission into an
+				// unlocked receiver fails identically, so each repeat
+				// escalates — first a recalibration pilot (whose
+				// preamble re-acquires phase in-band), then a full
+				// reacquisition with carried state dropped, then a rate
+				// fallback (longer intervals widen every timing margin).
+				t.pilotWanted = true
+				if desyncStreak >= 2 {
+					if sp, isSync := t.phy.(SyncPhy); isSync {
+						sp.Reacquire()
+						stats.Reacquisitions++
+					}
+				}
+				if desyncStreak >= 3 {
+					forceDegrade = true
+					desyncStreak = 0
+				}
+			} else {
+				desyncStreak = 0
+				if verdict == VerdictCorrupted && streak >= 2 {
+					// Two consecutive corruptions in lock: either the
+					// references drifted or the receiver slipped bits
+					// without noticing (a desync the symbol tracker
+					// cannot see). A pilot repairs both.
+					t.pilotWanted = true
+				}
+			}
+			if retries > t.cfg.RetriesPerRate || forceDegrade {
 				if t.interval*2 > t.cfg.MaxInterval {
 					stats.Frames = append(stats.Frames, fs)
 					return out, stats, fmt.Errorf("link: frame %d undeliverable after %d attempts (interval %v)",

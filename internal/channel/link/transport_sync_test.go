@@ -1,0 +1,194 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// outcome scripts one transmission of a scriptPhy: whether the frame
+// deframes, and what the receiver's symbol-lock state is afterwards.
+type outcome struct {
+	corrupt bool
+	locked  bool
+}
+
+// scriptPhy is a SyncPhy whose per-transmission behavior is scripted,
+// so the transport's verdict classification and resync escalation can
+// be asserted deterministically. Past the end of the script every
+// transmission succeeds in lock.
+type scriptPhy struct {
+	script []outcome
+	i      int
+	locked bool
+
+	pilots         int
+	reacquisitions int
+}
+
+func (p *scriptPhy) Transmit(bits channel.Bits, interval sim.Time, pilot bool) (channel.Bits, error) {
+	if pilot {
+		p.pilots++
+	}
+	oc := outcome{locked: true}
+	if p.i < len(p.script) {
+		oc = p.script[p.i]
+	}
+	p.i++
+	p.locked = oc.locked
+	if oc.corrupt {
+		// An empty reception can never deframe.
+		return channel.Bits{}, nil
+	}
+	return append(channel.Bits{}, bits...), nil
+}
+
+func (p *scriptPhy) Feedback(ack bool) bool { return ack }
+
+func (p *scriptPhy) SyncState() (tracking, locked bool) { return true, p.locked }
+
+func (p *scriptPhy) Reacquire() { p.reacquisitions++ }
+
+// syncTransportConfig disables the correction-rate recalibration
+// trigger so the only pilots are the ones the desync escalation orders.
+func syncTransportConfig() TransportConfig {
+	cfg := DefaultTransportConfig()
+	cfg.RecalCorrectionRate = 1000
+	return cfg
+}
+
+// TestTransportDesyncEscalation: two desynced receptions must be
+// classified as desync (not corruption), answered first with a pilot
+// and then with a full reacquisition — and the frame still delivered.
+func TestTransportDesyncEscalation(t *testing.T) {
+	phy := &scriptPhy{script: []outcome{
+		{corrupt: true, locked: false},
+		{corrupt: true, locked: false},
+		{locked: true},
+	}}
+	tr := NewTransport(phy, syncTransportConfig())
+	data := []byte{0xde, 0x5e, 0x4c}
+	got, stats, err := tr.Send(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("delivered %x, want %x", got, data)
+	}
+	if stats.Desyncs != 2 {
+		t.Errorf("Desyncs = %d, want 2", stats.Desyncs)
+	}
+	if stats.Reacquisitions != 1 || phy.reacquisitions != 1 {
+		t.Errorf("Reacquisitions = %d (phy %d), want 1", stats.Reacquisitions, phy.reacquisitions)
+	}
+	// The pilot escalation: desync 1 orders a pilot for attempt 2,
+	// desync 2 orders another for attempt 3.
+	if phy.pilots != 2 {
+		t.Errorf("pilots = %d, want 2", phy.pilots)
+	}
+	if stats.Degradations != 0 {
+		t.Errorf("Degradations = %d, want 0: two desyncs must not cost bit rate yet", stats.Degradations)
+	}
+	if len(stats.Frames) != 1 || stats.Frames[0].Desyncs != 2 {
+		t.Errorf("frame stats %+v, want one frame with 2 desyncs", stats.Frames)
+	}
+}
+
+// TestTransportDesyncForcesRateFallback: a third consecutive desync
+// exhausts the resync ladder and must force a rate degradation even
+// before the plain retry budget is spent.
+func TestTransportDesyncForcesRateFallback(t *testing.T) {
+	phy := &scriptPhy{script: []outcome{
+		{corrupt: true, locked: false},
+		{corrupt: true, locked: false},
+		{corrupt: true, locked: false},
+		{locked: true},
+	}}
+	cfg := syncTransportConfig()
+	tr := NewTransport(phy, cfg)
+	data := []byte{1, 2, 3}
+	got, stats, err := tr.Send(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("delivered %x, want %x", got, data)
+	}
+	if stats.Desyncs != 3 {
+		t.Errorf("Desyncs = %d, want 3", stats.Desyncs)
+	}
+	if stats.Degradations != 1 {
+		t.Errorf("Degradations = %d, want 1 forced by the desync streak", stats.Degradations)
+	}
+	if tr.Interval() != 2*cfg.Interval {
+		t.Errorf("interval %v after forced fallback, want %v", tr.Interval(), 2*cfg.Interval)
+	}
+	if stats.Reacquisitions != 2 {
+		t.Errorf("Reacquisitions = %d, want 2", stats.Reacquisitions)
+	}
+}
+
+// TestTransportCorruptedInLockStaysOnRetransmitPath: failures while the
+// receiver reports lock are corruption, not desync — no reacquisition,
+// no forced fallback; a second consecutive corruption orders a pilot
+// (the references may have drifted, or the receiver slipped bits the
+// tracker cannot see).
+func TestTransportCorruptedInLockStaysOnRetransmitPath(t *testing.T) {
+	phy := &scriptPhy{script: []outcome{
+		{corrupt: true, locked: true},
+		{corrupt: true, locked: true},
+		{locked: true},
+	}}
+	tr := NewTransport(phy, syncTransportConfig())
+	data := []byte{9, 8, 7}
+	got, stats, err := tr.Send(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("delivered %x, want %x", got, data)
+	}
+	if stats.Desyncs != 0 || stats.Reacquisitions != 0 {
+		t.Errorf("Desyncs = %d, Reacquisitions = %d, want 0/0 for in-lock corruption",
+			stats.Desyncs, stats.Reacquisitions)
+	}
+	if phy.pilots != 1 {
+		t.Errorf("pilots = %d, want 1 after two consecutive in-lock corruptions", phy.pilots)
+	}
+	if stats.Degradations != 0 {
+		t.Errorf("Degradations = %d, want 0", stats.Degradations)
+	}
+}
+
+// TestTransportNeverRelocksUndeliverable: a receiver that never regains
+// lock must walk the whole ladder — pilots, reacquisitions, rate
+// fallback — and finally surface an undeliverable error rather than
+// retransmitting forever.
+func TestTransportNeverRelocksUndeliverable(t *testing.T) {
+	script := make([]outcome, 32)
+	for i := range script {
+		script[i] = outcome{corrupt: true, locked: false}
+	}
+	phy := &scriptPhy{script: script}
+	cfg := syncTransportConfig()
+	cfg.MaxInterval = 2 * cfg.Interval
+	tr := NewTransport(phy, cfg)
+	got, stats, err := tr.Send([]byte{4, 5, 6})
+	if err == nil {
+		t.Fatal("no error from a permanently desynced link")
+	}
+	if len(got) != 0 {
+		t.Errorf("delivered %x over a permanently desynced link", got)
+	}
+	if stats.Degradations < 1 {
+		t.Errorf("Degradations = %d, want ≥1 before giving up", stats.Degradations)
+	}
+	if stats.Reacquisitions < 2 {
+		t.Errorf("Reacquisitions = %d, want ≥2 before giving up", stats.Reacquisitions)
+	}
+	if stats.Desyncs < 4 {
+		t.Errorf("Desyncs = %d, want the whole ladder walked", stats.Desyncs)
+	}
+}

@@ -1,0 +1,309 @@
+package ufvariation
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements frame acquisition: hunting the calibration
+// preamble in a raw latency stream so the receiver no longer needs a
+// shared start instant. The paper's §4.3.2 capacity analysis assumes
+// sender and receiver agree on the first interval boundary through a
+// shared timestamp counter; real frequency channels (TurboCC, the ring
+// channel of Lord of the Ring(s)) instead self-clock off the observed
+// signal. The correlator below does the same: the saturate/decay
+// preamble of CalibrationBits has a distinctive latency trajectory —
+// a plateau at the fast operating point, a nine-step climb, a plateau
+// at the idle point — and its normalized cross-correlation against the
+// stream peaks at the preamble's true start, wherever in the hunt
+// window the sender actually began.
+
+// Sample is one timestamped latency measurement of the receiver's probe
+// loop. At is the receiver's local clock (which may run fast, slow, or
+// wander relative to the sender's).
+type Sample struct {
+	At  sim.Time
+	Lat float64
+}
+
+// Acquisition is a successful preamble lock.
+type Acquisition struct {
+	// Start is the estimated preamble start on the receiver's clock.
+	Start sim.Time
+	// Score is the normalized correlation at the lock, in (0, 1].
+	Score float64
+	// TMax and TMin are the plateau latency references read off the
+	// locked preamble — the Tfreq_max / Tfreq_min of Algorithm 1.
+	TMax, TMin float64
+}
+
+// stream is a latency sample stream prepared for O(log n) window means:
+// samples sorted by timestamp with non-finite latencies dropped, plus
+// prefix sums.
+type stream struct {
+	at  []sim.Time
+	sum []float64 // sum[i] = Σ lat[0..i)
+	cnt []int
+}
+
+// newStream builds a stream from samples. Out-of-order input (which a
+// fuzzer produces and a monotone receiver clock never does) is sorted;
+// NaN and Inf latencies are dropped.
+func newStream(samples []Sample) *stream {
+	s := &stream{}
+	for _, sm := range samples {
+		if math.IsNaN(sm.Lat) || math.IsInf(sm.Lat, 0) {
+			continue
+		}
+		s.at = append(s.at, sm.At)
+	}
+	sorted := sort.SliceIsSorted(s.at, func(i, j int) bool { return s.at[i] < s.at[j] })
+	if !sorted {
+		s.at = s.at[:0]
+		kept := make([]Sample, 0, len(samples))
+		for _, sm := range samples {
+			if math.IsNaN(sm.Lat) || math.IsInf(sm.Lat, 0) {
+				continue
+			}
+			kept = append(kept, sm)
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i].At < kept[j].At })
+		for _, sm := range kept {
+			s.at = append(s.at, sm.At)
+		}
+		samples = kept
+	}
+	s.sum = make([]float64, len(s.at)+1)
+	s.cnt = make([]int, len(s.at)+1)
+	j := 0
+	for _, sm := range samples {
+		if math.IsNaN(sm.Lat) || math.IsInf(sm.Lat, 0) {
+			continue
+		}
+		s.sum[j+1] = s.sum[j] + sm.Lat
+		s.cnt[j+1] = s.cnt[j] + 1
+		j++
+	}
+	return s
+}
+
+// span returns the time range covered by the stream.
+func (s *stream) span() (first, last sim.Time, ok bool) {
+	if len(s.at) == 0 {
+		return 0, 0, false
+	}
+	return s.at[0], s.at[len(s.at)-1], true
+}
+
+// mean returns the average latency over [a, b) and the sample count.
+func (s *stream) mean(a, b sim.Time) (float64, int) {
+	if b <= a || len(s.at) == 0 {
+		return 0, 0
+	}
+	lo := sort.Search(len(s.at), func(i int) bool { return s.at[i] >= a })
+	hi := sort.Search(len(s.at), func(i int) bool { return s.at[i] >= b })
+	n := s.cnt[hi] - s.cnt[lo]
+	if n == 0 {
+		return 0, 0
+	}
+	return (s.sum[hi] - s.sum[lo]) / float64(n), n
+}
+
+// acquireMinScore is the normalized-correlation floor below which the
+// correlator refuses to lock: pure noise correlates near zero, a real
+// preamble well above 0.8 even under heavy fault injection.
+const acquireMinScore = 0.6
+
+// acquireMinContrast is the minimum plateau separation (core cycles)
+// for a lock; the real tMin−tMax gap is tens of cycles, and a stream
+// with no frequency swing at all must not lock on its noise floor.
+const acquireMinContrast = 2.0
+
+// Acquire hunts the calibration preamble (hold "1" bits then hold "0"
+// bits of interval each) in a latency sample stream. The candidate
+// start is scanned from the stream's first sample over searchTo of
+// receiver-clock time at interval/8 resolution; the best normalized
+// correlation above the lock thresholds wins. It returns ok=false when
+// no candidate clears them — the caller must treat that as "no sender
+// heard", not as a zero-offset lock.
+//
+// Acquire never panics on hostile input (arbitrary timestamps,
+// non-finite latencies, absurd parameters) and a reported lock always
+// lies within the sampled span with the whole preamble inside it.
+func Acquire(samples []Sample, interval sim.Time, hold int, searchTo sim.Time) (Acquisition, bool) {
+	// Parameter guards: implausible geometry cannot lock. The bounds
+	// also keep every product below finite sim.Time arithmetic.
+	if interval <= 0 || interval > sim.Time(1)<<42 || hold < 2 || hold > 1<<16 || searchTo < 0 {
+		return Acquisition{}, false
+	}
+	str := newStream(samples)
+	return acquireStream(str, interval, hold, searchTo)
+}
+
+func acquireStream(str *stream, interval sim.Time, hold int, searchTo sim.Time) (Acquisition, bool) {
+	first, last, ok := str.span()
+	if !ok {
+		return Acquisition{}, false
+	}
+	preamble := sim.Time(2*hold) * interval
+	if preamble <= 0 || last-first < preamble {
+		return Acquisition{}, false
+	}
+	maxStart := last - preamble
+	limit := first + searchTo
+	if limit > maxStart {
+		limit = maxStart
+	}
+
+	// Template over the preamble, in sub-windows of interval/8: −1 on
+	// the fast plateau (after the downward swing), a linear climb over
+	// the nine-step upward swing, +1 on the idle plateau. The initial
+	// downward swing is excluded (weight 0): its starting level depends
+	// on the platform state before the preamble, which the receiver
+	// cannot know. The governor evaluates at 10 ms epoch boundaries and
+	// its tail window discounts a change that lands mid-epoch, so the
+	// latency response lags the sender's clock by about an epoch and a
+	// half (§3.3); the template carries that lag so the correlation peak
+	// sits at the sender's start, not the response's.
+	sub := interval / 8
+	if sub <= 0 {
+		return Acquisition{}, false
+	}
+	swing := 9 * 10 * sim.Millisecond // nine 100 MHz steps, one per 10 ms epoch
+	lag := 15 * sim.Millisecond       // epoch-boundary reaction latency
+	halfDur := sim.Time(hold) * interval
+	nSub := int(preamble / sub)
+	tmpl := make([]float64, nSub)
+	weight := make([]bool, nSub)
+	for i := range tmpl {
+		mid := sim.Time(i)*sub + sub/2
+		switch {
+		case mid < swing+lag && mid < halfDur:
+			// Downward swing from an unknown level: excluded.
+		case mid < halfDur+lag:
+			tmpl[i], weight[i] = -1, true
+		case mid < halfDur+lag+swing:
+			tmpl[i] = -1 + 2*float64(mid-halfDur-lag)/float64(swing)
+			weight[i] = true
+		default:
+			tmpl[i], weight[i] = 1, true
+		}
+	}
+
+	best := Acquisition{Score: -2}
+	for s := first; s <= limit; s += sub {
+		score, okc := correlate(str, s, sub, tmpl, weight)
+		if okc && score > best.Score {
+			best.Score = score
+			best.Start = s
+		}
+	}
+	if best.Score < acquireMinScore {
+		return Acquisition{}, false
+	}
+	// Read the plateau references off the lock: the last quarter
+	// interval of each hold, clear of the swings.
+	ref := interval / 4
+	tMax, n1 := str.mean(best.Start+halfDur-ref, best.Start+halfDur)
+	tMin, n0 := str.mean(best.Start+preamble-ref, best.Start+preamble)
+	if n1 == 0 || n0 == 0 || tMin-tMax < acquireMinContrast {
+		return Acquisition{}, false
+	}
+	best.TMax, best.TMin = tMax, tMin
+	return best, true
+}
+
+// refinePhase polishes a coarse acquisition by decision feedback: it
+// trial-decodes the first payload bits at candidate offsets around the
+// coarse estimate and keeps the offset with the most decisive summed
+// decoder margin. The correlator resolves interval/8 against an
+// idealised governor response, so its lock can sit a few milliseconds
+// off the sender's true bit boundary — a residual the symbol tracker's
+// narrow pull-in range cannot absorb on its own.
+func refinePhase(str *stream, p0 float64, skipBits, n int, dec decoder, o trackerOpts) float64 {
+	iv := float64(o.interval) * (1 + o.ppmInit*1e-6)
+	probe := n
+	if probe > 24 {
+		probe = 24
+	}
+	if probe <= 0 {
+		return p0
+	}
+	score := func(cand float64) float64 {
+		var sum float64
+		for b := 0; b < probe; b++ {
+			a := cand + float64(skipBits+b)*iv
+			t1, n1 := str.mean(sim.Time(a), sim.Time(a)+o.window)
+			t2, n2 := str.mean(sim.Time(a+iv)-o.window, sim.Time(a+iv))
+			if n1 == 0 || n2 == 0 {
+				continue
+			}
+			sum += dec.margin(t1, t2)
+		}
+		return sum
+	}
+	best, bestScore := p0, score(p0)
+	step := iv / 16
+	for k := -4; k <= 4; k++ {
+		if k == 0 {
+			continue
+		}
+		cand := p0 + float64(k)*step
+		if s := score(cand); s > bestScore {
+			bestScore, best = s, cand
+		}
+	}
+	return best
+}
+
+// correlate computes the normalized cross-correlation of the stream
+// against the template laid down at start, sub per template entry. It
+// reports ok=false when too few template positions have samples for the
+// statistic to mean anything.
+func correlate(str *stream, start sim.Time, sub sim.Time, tmpl []float64, weight []bool) (float64, bool) {
+	var obs, g []float64
+	for i, w := range weight {
+		if !w {
+			continue
+		}
+		a := start + sim.Time(i)*sub
+		m, n := str.mean(a, a+sub)
+		if n == 0 {
+			continue
+		}
+		obs = append(obs, m)
+		g = append(g, tmpl[i])
+	}
+	// Require most of the weighted template to be observed: a lock
+	// extrapolated from a sliver of samples is no lock.
+	needed := 0
+	for _, w := range weight {
+		if w {
+			needed++
+		}
+	}
+	if len(obs) < needed*3/4 || len(obs) < 4 {
+		return 0, false
+	}
+	var mo, mg float64
+	for i := range obs {
+		mo += obs[i]
+		mg += g[i]
+	}
+	mo /= float64(len(obs))
+	mg /= float64(len(g))
+	var num, do, dg float64
+	for i := range obs {
+		num += (obs[i] - mo) * (g[i] - mg)
+		do += (obs[i] - mo) * (obs[i] - mo)
+		dg += (g[i] - mg) * (g[i] - mg)
+	}
+	if do <= 0 || dg <= 0 {
+		return 0, false
+	}
+	// The template rises where latency rises, so the correlation of a
+	// true lock is positive.
+	return num / math.Sqrt(do*dg), true
+}

@@ -1,0 +1,200 @@
+package ufvariation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// synthPreamble builds the idealised latency stream a receiver records
+// around a calibration preamble that starts offset after the first
+// sample: idle plateau, nine-step descent to the fast plateau, hold,
+// nine-step climb back, idle tail. The governor's epoch-boundary
+// reaction lag is baked in, matching what a real trace shows and what
+// the correlator's template assumes.
+func synthPreamble(offset, interval sim.Time, hold int, tail sim.Time, noise float64, seed uint64) []Sample {
+	const (
+		fastLat = 40.0
+		idleLat = 80.0
+	)
+	lag := 15 * sim.Millisecond
+	swing := 90 * sim.Millisecond
+	halfDur := sim.Time(hold) * interval
+	level := func(t sim.Time) float64 {
+		rel := t - offset
+		switch {
+		case rel < lag:
+			return idleLat
+		case rel < lag+swing:
+			return idleLat - (idleLat-fastLat)*float64(rel-lag)/float64(swing)
+		case rel < halfDur+lag:
+			return fastLat
+		case rel < halfDur+lag+swing:
+			return fastLat + (idleLat-fastLat)*float64(rel-halfDur-lag)/float64(swing)
+		default:
+			return idleLat
+		}
+	}
+	rng := sim.NewRand(seed)
+	total := offset + 2*halfDur + tail
+	var out []Sample
+	for t := sim.Time(0); t < total; t += 500 * sim.Microsecond {
+		out = append(out, Sample{At: t, Lat: level(t) + rng.Norm(0, noise)})
+	}
+	return out
+}
+
+// TestAcquireLocksAtOffsets: the correlator must find the preamble start
+// wherever in the hunt window the sender actually began, and read the
+// plateau references off the lock.
+func TestAcquireLocksAtOffsets(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	hold := 7
+	for _, offset := range []sim.Time{0, 10 * sim.Millisecond, 2*interval + interval/2} {
+		samples := synthPreamble(offset, interval, hold, 2*interval, 0.5, 77)
+		acq, ok := Acquire(samples, interval, hold, 8*interval)
+		if !ok {
+			t.Fatalf("offset %v: no lock", offset)
+		}
+		err := acq.Start - offset
+		if err < 0 {
+			err = -err
+		}
+		if err > interval/4 {
+			t.Errorf("offset %v: locked at %v (error %v, want ≤ %v)", offset, acq.Start, err, interval/4)
+		}
+		if acq.Score < acquireMinScore {
+			t.Errorf("offset %v: lock score %.3f below threshold", offset, acq.Score)
+		}
+		if acq.TMax < 38 || acq.TMax > 42 {
+			t.Errorf("offset %v: TMax %.1f, want ≈40", offset, acq.TMax)
+		}
+		if acq.TMin < 78 || acq.TMin > 82 {
+			t.Errorf("offset %v: TMin %.1f, want ≈80", offset, acq.TMin)
+		}
+	}
+}
+
+// TestAcquireRejectsNoise: a flat stream with no frequency swing must
+// not lock, however long the hunt.
+func TestAcquireRejectsNoise(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	rng := sim.NewRand(78)
+	var samples []Sample
+	for t := sim.Time(0); t < 20*interval; t += 500 * sim.Microsecond {
+		samples = append(samples, Sample{At: t, Lat: 60 + rng.Norm(0, 1)})
+	}
+	if acq, ok := Acquire(samples, interval, 7, 8*interval); ok {
+		t.Errorf("locked on pure noise: %+v", acq)
+	}
+}
+
+// TestAcquireRejectsTruncatedPreamble: a stream that ends before the
+// preamble does cannot contain a full lock.
+func TestAcquireRejectsTruncatedPreamble(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	hold := 7
+	samples := synthPreamble(0, interval, hold, 2*interval, 0.5, 79)
+	// Keep only the first half of the preamble.
+	cut := sim.Time(hold) * interval
+	var short []Sample
+	for _, s := range samples {
+		if s.At < cut {
+			short = append(short, s)
+		}
+	}
+	if acq, ok := Acquire(short, interval, hold, 8*interval); ok {
+		t.Errorf("locked on a truncated preamble: %+v", acq)
+	}
+}
+
+// TestAcquireHostileParams: implausible geometry must be refused, not
+// panicked over.
+func TestAcquireHostileParams(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	samples := synthPreamble(0, interval, 7, 2*interval, 0.5, 80)
+	cases := []struct {
+		name     string
+		interval sim.Time
+		hold     int
+		search   sim.Time
+	}{
+		{"zero interval", 0, 7, interval},
+		{"negative interval", -interval, 7, interval},
+		{"huge interval", sim.Time(1) << 43, 7, interval},
+		{"hold too small", interval, 1, interval},
+		{"hold too large", interval, 1 << 17, interval},
+		{"negative search", interval, 7, -1},
+	}
+	for _, c := range cases {
+		if _, ok := Acquire(samples, c.interval, c.hold, c.search); ok {
+			t.Errorf("%s: unexpectedly locked", c.name)
+		}
+	}
+	if _, ok := Acquire(nil, interval, 7, interval); ok {
+		t.Error("locked on an empty stream")
+	}
+}
+
+// FuzzAcquire drives the correlator with arbitrary sample streams and
+// parameters: it must never panic, and any reported lock must lie within
+// the sampled span with the whole preamble inside it.
+func FuzzAcquire(f *testing.F) {
+	iv := int64(21 * sim.Millisecond)
+	f.Add([]byte{}, iv, 7, int64(8*21*sim.Millisecond))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, iv, 7, iv)
+	f.Add([]byte{255, 0, 128, 64, 200, 13, 17, 90}, int64(1), 2, int64(1)<<40)
+	f.Add([]byte{10, 40, 10, 80, 10, 40, 10, 80, 10, 40}, iv, 2, int64(-5))
+	f.Fuzz(func(t *testing.T, data []byte, ivRaw int64, hold int, searchRaw int64) {
+		if len(data) > 160 {
+			data = data[:160]
+		}
+		interval := sim.Time(ivRaw)
+		// Samples are spaced in units of the correlator's sub-window so
+		// the candidate scan stays proportional to the input size (the
+		// scan is O(span/sub × preamble/sub)); the interval itself is
+		// passed through raw to exercise the guards.
+		sub := interval / 8
+		if sub <= 0 || sub > 25*sim.Millisecond {
+			sub = 21 * sim.Millisecond / 8
+		}
+		var samples []Sample
+		at := sim.Time(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			at += sim.Time(data[i]%8)*sub + 1
+			lat := float64(data[i+1])
+			switch data[i] % 13 {
+			case 0:
+				lat = math.NaN()
+			case 1:
+				lat = math.Inf(1)
+			}
+			samples = append(samples, Sample{At: at, Lat: lat})
+		}
+		acq, ok := Acquire(samples, interval, hold, sim.Time(searchRaw))
+		if !ok {
+			return
+		}
+		first, last := samples[0].At, samples[0].At
+		for _, s := range samples {
+			if s.At < first {
+				first = s.At
+			}
+			if s.At > last {
+				last = s.At
+			}
+		}
+		preamble := sim.Time(2*hold) * interval
+		if acq.Start < first || acq.Start+preamble > last {
+			t.Fatalf("lock at %v (+%v preamble) outside sampled span [%v, %v]",
+				acq.Start, preamble, first, last)
+		}
+		if acq.Score < acquireMinScore || acq.Score > 1.0001 {
+			t.Fatalf("lock score %v outside (%v, 1]", acq.Score, acquireMinScore)
+		}
+		if acq.TMin-acq.TMax < acquireMinContrast {
+			t.Fatalf("lock with contrast %v below the floor", acq.TMin-acq.TMax)
+		}
+	})
+}

@@ -33,13 +33,33 @@ type LinkPhy struct {
 	// verdict (the acknowledgement is itself a tiny covert
 	// transmission); zero means 4.
 	AckBits int
+	// Track enables the self-synchronizing receiver on every
+	// transmission: frame acquisition on pilots, symbol-clock tracking
+	// on every frame, loss-of-lock detection. The acquired phase and
+	// clock-error estimates persist across transmissions (a locked link
+	// needs no preamble per frame) until Reacquire drops them.
+	Track bool
+	// SyncFaults optionally perturbs each transmission's receiver-side
+	// synchronization — start offset, clock model, preemptions — wired
+	// to the fault injector's sync draws by experiments. It receives
+	// the transmission's total bit count (frame plus any preamble) so
+	// blackouts can land inside the air time.
+	SyncFaults func(cfg *Config, totalBits int)
 
 	// RawErrors and RawBits accumulate the raw-channel error count
 	// under the transport, before ECC — the residual-vs-raw comparison
-	// the reliability experiment reports.
+	// the reliability experiment reports. A receive shorter than the
+	// frame counts its missing tail as errors: those bits were sent and
+	// never arrived.
 	RawErrors, RawBits int
+	// Desyncs counts receptions that ended out of symbol lock.
+	Desyncs int
 
-	interval sim.Time
+	interval  sim.Time
+	havePhase bool
+	phaseEst  sim.Time
+	ppmEst    float64
+	desynced  bool
 }
 
 // Transmit implements link.Phy: one UF-variation transmission of the
@@ -52,22 +72,70 @@ func (p *LinkPhy) Transmit(bits channel.Bits, interval sim.Time, pilot bool) (ch
 	cfg := p.Cfg
 	cfg.Interval = interval
 	cfg.OnlineCalibration = pilot
+	if p.Track {
+		cfg.Track = true
+		if p.havePhase {
+			cfg.TrackerPhase = p.phaseEst
+			cfg.TrackerPPM = p.ppmEst
+		}
+	}
+	if p.SyncFaults != nil {
+		total := len(bits)
+		if pilot {
+			total += len(CalibrationBits(interval))
+		}
+		p.SyncFaults(&cfg, total)
+	}
 	res, err := Run(p.M, cfg, bits)
 	if err != nil {
 		return nil, err
 	}
 	p.interval = interval
+	if rep := res.Sync; rep != nil {
+		if rep.Locked {
+			p.desynced = false
+			if p.havePhase {
+				// Smooth the clock-error estimate across frames; one
+				// reception's estimate carries detector noise.
+				p.ppmEst = 0.7*p.ppmEst + 0.3*rep.PPMEst
+			} else {
+				p.ppmEst = rep.PPMEst
+			}
+			p.phaseEst = rep.Origin
+			p.havePhase = true
+		} else {
+			p.desynced = true
+			p.Desyncs++
+		}
+	}
 	rx := res.Received
 	if p.Corrupt != nil {
 		rx = p.Corrupt(rx)
 	}
 	for i := range bits {
 		p.RawBits++
-		if i < len(rx) && rx[i] != bits[i] {
+		if i >= len(rx) || rx[i] != bits[i] {
 			p.RawErrors++
 		}
 	}
 	return rx, nil
+}
+
+// SyncState implements link.SyncPhy: whether the self-synchronizing
+// receiver is enabled, and whether the last reception ended in symbol
+// lock. Before any transmission the link counts as locked — there is no
+// evidence of desynchronization yet.
+func (p *LinkPhy) SyncState() (tracking, locked bool) {
+	return p.Track, !p.desynced
+}
+
+// Reacquire implements link.SyncPhy: it drops the phase and clock-error
+// estimates carried across transmissions, so the next pilot reception
+// runs a full frame acquisition instead of trusting stale state.
+func (p *LinkPhy) Reacquire() {
+	p.havePhase = false
+	p.phaseEst = 0
+	p.ppmEst = 0
 }
 
 // Feedback implements link.Phy. The verdict rides the reverse channel

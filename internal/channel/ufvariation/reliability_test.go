@@ -151,26 +151,49 @@ func TestCalibrationBitsShape(t *testing.T) {
 // TestClockSkewDegradesLongPayloads probes the §4.3.2 synchronisation
 // assumption: with a shared TSC (zero skew) long payloads stay clean,
 // while a receiver clock running 2000 ppm fast drifts its windows off the
-// sender's intervals and the tail of the payload collapses.
+// sender's intervals and the tail of the payload collapses. The third
+// case is the recovery: the same skewed clock with the symbol-timing
+// tracker enabled decodes near-clean again, because the DLL re-estimates
+// the bit interval online and cancels the rate error.
 func TestClockSkewDegradesLongPayloads(t *testing.T) {
-	run := func(ppm float64) float64 {
+	run := func(ppm float64, track bool) (float64, *SyncReport) {
 		m := newMachine(31)
 		cfg := DefaultConfig()
 		cfg.Interval = 21 * sim.Millisecond
 		cfg.SkewPPM = ppm
+		cfg.Track = track
 		bits := channel.RandomBits(m.Rand(11), 192)
 		res, err := Run(m, cfg, bits)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.BER
+		return res.BER, res.Sync
 	}
-	clean := run(0)
-	skewed := run(2000)
+	clean, _ := run(0, false)
+	skewed, _ := run(2000, false)
+	tracked, rep := run(2000, true)
 	if clean > 0.05 {
 		t.Errorf("zero-skew BER %.3f on a long payload, want ≈0", clean)
 	}
+	if skewed < 0.15 {
+		t.Errorf("2000 ppm skew BER %.3f; windows should drift off (want >0.15)", skewed)
+	}
 	if skewed < clean+0.1 {
 		t.Errorf("2000 ppm skew BER %.3f barely above clean %.3f; windows should drift off", skewed, clean)
+	}
+	if tracked > 0.05 {
+		t.Errorf("tracked 2000 ppm BER %.3f, want <0.05: the DLL should cancel the rate error", tracked)
+	}
+	if rep == nil || !rep.Tracked {
+		t.Fatal("tracked run returned no sync report")
+	}
+	if !rep.Locked || rep.LockLost {
+		t.Errorf("tracked run lost lock: %+v", rep)
+	}
+	// The interval estimate should have converged near the true clock
+	// error (+2000 ppm: the receiver's clock runs fast, so the sender's
+	// interval spans more receiver-clock time).
+	if rep.PPMEst < 1000 || rep.PPMEst > 3000 {
+		t.Errorf("tracker ppm estimate %.0f, want ≈2000", rep.PPMEst)
 	}
 }

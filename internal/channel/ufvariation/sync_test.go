@@ -1,0 +1,149 @@
+package ufvariation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// TestStartOffsetAcquisition: the sender starts two and a half bit
+// intervals after the nominal shared instant and the receiver is not
+// told. Without a shared start the §4.3.2 decode is impossible; the
+// tracked receiver must find the calibration preamble by correlation
+// and decode the payload clean anyway.
+func TestStartOffsetAcquisition(t *testing.T) {
+	m := newMachine(41)
+	cfg := DefaultConfig()
+	cfg.Interval = 21 * sim.Millisecond
+	cfg.OnlineCalibration = true
+	cfg.Track = true
+	cfg.StartOffset = 2*cfg.Interval + cfg.Interval/2
+	bits := channel.RandomBits(m.Rand(12), 96)
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Sync
+	if rep == nil || !rep.AcquisitionRun {
+		t.Fatal("tracked calibrated run did not attempt acquisition")
+	}
+	if !rep.Acquired || !rep.Locked {
+		t.Fatalf("acquisition failed under a %v start offset: %+v", cfg.StartOffset, rep)
+	}
+	if off := rep.Origin - cfg.StartOffset; off < -cfg.Interval/2 || off > cfg.Interval/2 {
+		t.Errorf("acquired origin %v, want within half an interval of the true offset %v",
+			rep.Origin, cfg.StartOffset)
+	}
+	if res.BER > 0.05 {
+		t.Errorf("BER %.3f under an unknown start offset, want <0.05 after acquisition", res.BER)
+	}
+}
+
+// TestWanderTrackedRecovers: a receiver clock that runs 2000 ppm fast
+// AND wanders sinusoidally (±1500 ppm over 2 s — thermal TSC drift)
+// wrecks the untracked decode of a long payload; the DLL must follow
+// the wander and decode near-clean.
+func TestWanderTrackedRecovers(t *testing.T) {
+	wander := func() func(sim.Time) sim.Time {
+		const (
+			base   = 2000.0
+			amp    = 1500.0
+			period = 2 * sim.Second
+		)
+		w := 2 * math.Pi / float64(period)
+		return func(rel sim.Time) sim.Time {
+			tt := float64(rel)
+			return sim.Time(tt*(1+base*1e-6) + amp*1e-6/w*(1-math.Cos(w*tt)))
+		}
+	}
+	run := func(track bool) (float64, *SyncReport) {
+		m := newMachine(42)
+		cfg := DefaultConfig()
+		cfg.Interval = 21 * sim.Millisecond
+		cfg.Clock = wander()
+		cfg.Track = track
+		bits := channel.RandomBits(m.Rand(13), 256)
+		res, err := Run(m, cfg, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BER, res.Sync
+	}
+	untracked, _ := run(false)
+	tracked, rep := run(true)
+	if untracked < 0.15 {
+		t.Errorf("untracked BER %.3f under skew+wander, want >0.15", untracked)
+	}
+	if tracked > 0.05 {
+		t.Errorf("tracked BER %.3f under skew+wander, want <0.05", tracked)
+	}
+	if rep == nil || !rep.Locked || rep.LockLost {
+		t.Errorf("tracker lost lock under wander: %+v", rep)
+	}
+}
+
+// TestPreemptionDesyncsReceiver: a receiver blackout of eight bit
+// intervals freezes the loop-progress timebase for longer than the
+// tracker's pull-in range. The decode after the gap is permanently
+// misaligned — and the tracker must SAY so (loss of lock), because the
+// link layer's resync escalation keys on that verdict.
+func TestPreemptionDesyncsReceiver(t *testing.T) {
+	m := newMachine(43)
+	cfg := DefaultConfig()
+	cfg.Interval = 21 * sim.Millisecond
+	cfg.OnlineCalibration = true
+	cfg.Track = true
+	bits := channel.RandomBits(m.Rand(14), 96)
+	skip := len(CalibrationBits(cfg.Interval))
+	cfg.Preemptions = []Preemption{{
+		At:  sim.Time(skip+40) * cfg.Interval,
+		Dur: 8 * cfg.Interval,
+	}}
+	res, err := Run(m, cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Sync
+	if rep == nil {
+		t.Fatal("tracked run returned no sync report")
+	}
+	if !rep.LockLost || rep.Locked {
+		t.Fatalf("8-interval blackout went undetected: %+v", rep)
+	}
+	if res.BER < 0.1 {
+		t.Errorf("BER %.3f after a desynchronizing blackout, expected substantial corruption", res.BER)
+	}
+}
+
+// TestLinkPhyCountsMissingTailAsErrors: a reception shorter than the
+// frame must count its missing tail bits as raw errors — those bits
+// were sent and never arrived, and the reliability experiment's link
+// BER would otherwise under-report truncating fault processes.
+func TestLinkPhyCountsMissingTailAsErrors(t *testing.T) {
+	m := newMachine(44)
+	cfg := DefaultConfig()
+	cfg.Interval = 21 * sim.Millisecond
+	phy := &LinkPhy{
+		M:   m,
+		Cfg: cfg,
+		Corrupt: func(b channel.Bits) channel.Bits {
+			return b[:len(b)-5]
+		},
+	}
+	bits := channel.RandomBits(m.Rand(15), 24)
+	rx, err := phy.Transmit(bits, cfg.Interval, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rx) != len(bits)-5 {
+		t.Fatalf("corrupt hook not applied: got %d bits", len(rx))
+	}
+	if phy.RawBits != len(bits) {
+		t.Errorf("RawBits = %d, want the full frame %d", phy.RawBits, len(bits))
+	}
+	if phy.RawErrors < 5 {
+		t.Errorf("RawErrors = %d, want ≥5: the truncated tail must count", phy.RawErrors)
+	}
+}

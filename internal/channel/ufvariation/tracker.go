@@ -1,0 +1,256 @@
+package ufvariation
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// This file implements symbol clock recovery and loss-of-lock
+// detection. Once acquisition (acquire.go) has found the first bit
+// boundary, the receiver still drifts off the sender whenever its clock
+// runs at a different rate (Config.SkewPPM) or wanders (Config.Clock):
+// at 2000 ppm the windows walk one full 21 ms interval off the sender
+// after ~10 s, and the §4.3.2 decode collapses from the tail. The
+// tracker below is a software delay-locked loop: every bit it trial-
+// decodes at an early, punctual, and late window phase, steers the
+// phase toward the offset with the most decisive decoder margin, and
+// bleeds a fraction of each correction into its bit-interval estimate
+// so a constant clock-rate error is cancelled exactly and a slowly
+// wandering one is followed. When the margin stays indecisive for
+// several consecutive bits the loop declares loss of lock instead of
+// emitting confident garbage — the verdict the link layer's resync
+// escalation keys on.
+
+// SyncReport is the synchronization layer's account of one tracked
+// reception.
+type SyncReport struct {
+	// Tracked is true when the self-synchronizing receiver ran.
+	Tracked bool
+	// AcquisitionRun is true when a preamble hunt was attempted;
+	// Acquired when it locked, and AcquireScore is its correlation.
+	AcquisitionRun bool
+	Acquired       bool
+	AcquireScore   float64
+	// Origin is the estimated sender start (preamble start for pilot
+	// transmissions, bit 0 otherwise) on the receiver's clock, relative
+	// to the nominal shared start. Carrying it into the next reception
+	// keeps a once-acquired phase without a new preamble.
+	Origin sim.Time
+	// PPMEst is the tracker's final clock-error estimate in parts per
+	// million: positive means the receiver's clock runs fast.
+	PPMEst float64
+	// MeanMargin and MinMargin summarise the decoder confidence margin
+	// over the payload (see decoder.margin).
+	MeanMargin, MinMargin float64
+	// Locked is true when the reception ended in lock: acquisition (if
+	// run) succeeded and the tracker never lost the symbol clock.
+	Locked bool
+	// LockLost is true when the margin collapsed mid-payload; LockLostBit
+	// is the first bit of the collapse.
+	LockLost    bool
+	LockLostBit int
+}
+
+// trackerOpts tunes the DLL. Zero values take the defaults below.
+type trackerOpts struct {
+	interval sim.Time // nominal (sender-clock) bit interval
+	window   sim.Time // T1/T2 measurement window
+	ppmInit  float64  // initial clock-error estimate, ppm
+
+	alpha, beta float64 // phase and interval loop gains
+	lockMargin  float64 // per-bit margin below which a bit counts as indecisive
+	lockRun     int     // consecutive indecisive bits before loss of lock
+	lockWindow  int     // sliding window for the dispersed-indecision rule
+	lockDense   int     // indecisive bits within lockWindow before loss of lock
+}
+
+func (o trackerOpts) withDefaults() trackerOpts {
+	if o.alpha == 0 {
+		o.alpha = 0.5
+	}
+	if o.beta == 0 {
+		o.beta = 0.08
+	}
+	if o.lockMargin == 0 {
+		o.lockMargin = 0.25
+	}
+	if o.lockRun == 0 {
+		o.lockRun = 5
+	}
+	if o.lockWindow == 0 {
+		o.lockWindow = 12
+	}
+	if o.lockDense == 0 {
+		o.lockDense = 5
+	}
+	return o
+}
+
+// maxTrackPPM bounds the interval estimate: the loop may cancel clock
+// errors up to ±1% (10000 ppm), far beyond any realistic TSC error, but
+// must not chase a corrupted stream into absurd symbol rates.
+const maxTrackPPM = 10000
+
+// decodeTracked demodulates n bits from the stream starting at the
+// estimated bit-0 boundary p0 (receiver clock), tracking symbol timing
+// as it goes. It returns the decoded bits, the per-bit window means
+// (for diagnostics), and the tracking report.
+func decodeTracked(str *stream, p0 sim.Time, n int, dec decoder, o trackerOpts) ([]int, []float64, []float64, SyncReport) {
+	o = o.withDefaults()
+	bits := make([]int, n)
+	t1s := make([]float64, n)
+	t2s := make([]float64, n)
+	rep := SyncReport{Tracked: true}
+
+	iv := float64(o.interval) * (1 + o.ppmInit*1e-6)
+	phase := float64(p0)
+	phase0 := phase
+	w := o.window
+	lowRun := 0
+	var lowBits []bool
+	frozen := false
+	var marginSum float64
+	rep.MinMargin = math.Inf(1)
+
+	for k := 0; k < n; k++ {
+		d := iv / 12 // trial offset: small vs the window, large vs per-bit drift
+		type cand struct {
+			t1, t2 float64
+			m      float64
+		}
+		eval := func(off float64) cand {
+			a := sim.Time(phase + off)
+			b := sim.Time(phase + off + iv)
+			t1, n1 := str.mean(a, a+w)
+			t2, n2 := str.mean(b-w, b)
+			if n1 == 0 {
+				t1 = 0
+			}
+			if n2 == 0 {
+				t2 = 0
+			}
+			return cand{t1, t2, dec.margin(t1, t2)}
+		}
+		early, center, late := eval(-d), eval(0), eval(+d)
+
+		best := center
+		if early.m > best.m {
+			best = early
+		}
+		if late.m > best.m {
+			best = late
+		}
+		bits[k] = dec.decide(best.t1, best.t2)
+		t1s[k], t2s[k] = best.t1, best.t2
+
+		m := best.m
+		marginSum += m
+		if m < rep.MinMargin {
+			rep.MinMargin = m
+		}
+		low := m < o.lockMargin
+		if low {
+			lowRun++
+		} else {
+			lowRun = 0
+		}
+		lowBits = append(lowBits, low)
+		lowDense := 0
+		for i := len(lowBits) - 1; i >= 0 && i >= len(lowBits)-o.lockWindow; i-- {
+			if lowBits[i] {
+				lowDense++
+			}
+		}
+		// Two desync signatures: a contiguous run of indecisive bits
+		// (a blackout, or windows dead-centred on bit boundaries), and
+		// indecision dispersed across a window — the straddling receiver
+		// decodes saturated runs confidently but every transition lands
+		// mid-band, so the margin collapses on a large *fraction* of
+		// bits without ever collapsing for long.
+		if (lowRun >= o.lockRun || lowDense >= o.lockDense) && !rep.LockLost {
+			rep.LockLost = true
+			first := k - lowRun + 1
+			if lowRun < o.lockRun {
+				first = k - o.lockWindow + 1
+				if first < 0 {
+					first = 0
+				}
+			}
+			rep.LockLostBit = first
+			// Freeze the loop: with no credible margin the error
+			// signal is noise, and integrating noise walks the
+			// estimates away from any future re-lock.
+			frozen = true
+		}
+
+		// Timing error from the margin differential; only meaningful
+		// when the margins carry signal (a transition bit — runs are
+		// phase-insensitive and contribute no update).
+		e := 0.0
+		if den := early.m + center.m + late.m; den > 3*o.lockMargin && !frozen {
+			e = d * (late.m - early.m) / den
+			if e > d {
+				e = d
+			} else if e < -d {
+				e = -d
+			}
+		}
+		phase += iv + o.alpha*e
+		iv += o.beta * e
+		nom := float64(o.interval)
+		if iv > nom*(1+maxTrackPPM*1e-6) {
+			iv = nom * (1 + maxTrackPPM*1e-6)
+		} else if iv < nom*(1-maxTrackPPM*1e-6) {
+			iv = nom * (1 - maxTrackPPM*1e-6)
+		}
+	}
+
+	if n > 0 {
+		rep.MeanMargin = marginSum / float64(n)
+	} else {
+		rep.MinMargin = 0
+	}
+	// The clock-error estimate comes from the net phase advance — the
+	// local-clock time the loop actually consumed per bit — not from the
+	// interval register: the phase loop absorbs any residual detector
+	// bias, so the advance tracks the true rate even when iv wanders.
+	if n > 0 {
+		rep.PPMEst = ((phase-phase0)/(float64(n)*float64(o.interval)) - 1) * 1e6
+	}
+	rep.Locked = !rep.LockLost
+	return bits, t1s, t2s, rep
+}
+
+// margin quantifies how decisively a (T1, T2) window pair decodes under
+// Algorithm 1: ≥1 is a clear symbol, near 0 is indistinguishable from a
+// desynchronized window straddling two intervals. It is the maximum of
+//
+//   - the significance of the latency move |T1−T2| against the noise
+//     threshold delta (the transition evidence), and
+//   - the depth of both windows inside either saturation band, in units
+//     of the band tolerance (the plateau evidence).
+//
+// Mid-band flat pairs — exactly what a receiver whose windows straddle
+// bit boundaries measures — score near zero on both.
+func (d decoder) margin(t1, t2 float64) float64 {
+	if t1 == 0 || t2 == 0 || d.delta <= 0 || d.tolMax <= 0 || d.tolMin <= 0 {
+		return 0
+	}
+	move := math.Abs(t1-t2) / d.delta
+	// Depth inside the fast band (t ≤ tMax+tolMax): 0 at the band edge,
+	// 1 at the reference latency.
+	depthMax := func(t float64) float64 { return (d.tMax + d.tolMax - t) / d.tolMax }
+	// Depth inside the idle band (t ≥ tMin−tolMin).
+	depthMin := func(t float64) float64 { return (t - (d.tMin - d.tolMin)) / d.tolMin }
+	bandMax := math.Min(depthMax(t1), depthMax(t2))
+	bandMin := math.Min(depthMin(t1), depthMin(t2))
+	m := math.Max(move, math.Max(bandMax, bandMin))
+	if m < 0 {
+		return 0
+	}
+	if m > 3 {
+		return 3
+	}
+	return m
+}

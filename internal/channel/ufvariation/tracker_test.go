@@ -1,0 +1,172 @@
+package ufvariation
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// synthBitStream builds the latency stream of a payload as the governor
+// renders it: the level slews toward the bit's target ("1" = fast
+// plateau 40 cycles, "0" = idle plateau 80 cycles) at the nine-step
+// swing rate — 40 cycles per 90 ms — never jumping. Timestamps are on a
+// receiver clock running ppm fast relative to the sender.
+func synthBitStream(bits []int, interval sim.Time, ppm float64, noise float64, seed uint64) []Sample {
+	rate := 1 + ppm*1e-6
+	rng := sim.NewRand(seed)
+	var out []Sample
+	step := 250 * sim.Microsecond
+	slew := 40.0 / float64(90*sim.Millisecond) * float64(step)
+	total := sim.Time(len(bits))*interval + interval
+	lvl := 80.0
+	for t := sim.Time(0); t < total; t += step {
+		idx := int(t / interval)
+		target := 80.0
+		if idx < len(bits) && bits[idx] == 1 {
+			target = 40
+		}
+		switch {
+		case lvl < target-slew:
+			lvl += slew
+		case lvl > target+slew:
+			lvl -= slew
+		default:
+			lvl = target
+		}
+		out = append(out, Sample{
+			At:  sim.Time(float64(t) * rate),
+			Lat: lvl + rng.Norm(0, noise),
+		})
+	}
+	return out
+}
+
+func randBits(n int, seed uint64) []int {
+	rng := sim.NewRand(seed)
+	bits := make([]int, n)
+	for i := range bits {
+		bits[i] = rng.IntN(2)
+	}
+	return bits
+}
+
+func bitErrors(got, want []int) int {
+	errs := 0
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			errs++
+		}
+	}
+	return errs
+}
+
+// TestDecodeTrackedCancelsSkew: at 2000 ppm the windows of an untracked
+// receiver walk a full 5 ms window off the sender within 120 bits; the
+// DLL must cancel the rate error and decode essentially clean, and its
+// clock-error estimate must converge near the truth.
+func TestDecodeTrackedCancelsSkew(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	o := trackerOpts{interval: interval, window: 5 * sim.Millisecond}
+	dec := decoderFromRefs(40, 80)
+	for _, c := range []struct {
+		ppm          float64
+		loPPM, hiPPM float64
+	}{
+		{0, -1200, 1200},
+		{2000, 800, 3200},
+		{-2000, -3200, -800},
+	} {
+		bits := randBits(150, 91)
+		str := newStream(synthBitStream(bits, interval, c.ppm, 0.5, 92))
+		got, _, _, rep := decodeTracked(str, 0, len(bits), dec, o)
+		if errs := bitErrors(got, bits); errs > 3 {
+			t.Errorf("ppm %v: %d/%d bit errors, want ≤3", c.ppm, errs, len(bits))
+		}
+		if !rep.Locked || rep.LockLost {
+			t.Errorf("ppm %v: lost lock: %+v", c.ppm, rep)
+		}
+		if rep.PPMEst < c.loPPM || rep.PPMEst > c.hiPPM {
+			t.Errorf("ppm %v: estimate %.0f outside [%v, %v]", c.ppm, rep.PPMEst, c.loPPM, c.hiPPM)
+		}
+		if rep.MeanMargin < 1 {
+			t.Errorf("ppm %v: mean margin %.2f, want decisive decodes", c.ppm, rep.MeanMargin)
+		}
+	}
+}
+
+// TestDecodeTrackedLossOfLockOnTruncation: when the stream ends early
+// the trailing bits have no samples, the margin collapses, and the
+// contiguous-indecision rule must declare loss of lock near where the
+// samples stop — not emit confident garbage to the end.
+func TestDecodeTrackedLossOfLockOnTruncation(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	o := trackerOpts{interval: interval, window: 5 * sim.Millisecond}
+	dec := decoderFromRefs(40, 80)
+	bits := randBits(60, 93)
+	str := newStream(synthBitStream(bits[:30], interval, 0, 0.5, 94))
+	_, _, _, rep := decodeTracked(str, 0, len(bits), dec, o)
+	if !rep.LockLost || rep.Locked {
+		t.Fatalf("no loss of lock on a half-truncated stream: %+v", rep)
+	}
+	if rep.LockLostBit < 28 || rep.LockLostBit > 38 {
+		t.Errorf("lock lost at bit %d, want near the truncation at 30", rep.LockLostBit)
+	}
+}
+
+// TestDecodeTrackedDispersedIndecision: indecision spread across a
+// window (every other bit unmeasurable) never forms a long contiguous
+// run, but the dispersed-indecision rule must still declare loss of
+// lock.
+func TestDecodeTrackedDispersedIndecision(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	o := trackerOpts{interval: interval, window: 5 * sim.Millisecond}
+	dec := decoderFromRefs(40, 80)
+	bits := randBits(60, 95)
+	all := synthBitStream(bits, interval, 0, 0.5, 96)
+	var kept []Sample
+	for _, s := range all {
+		idx := int(s.At / interval)
+		if idx >= 20 && idx%2 == 1 {
+			continue // odd bits past 20 lose all their samples
+		}
+		kept = append(kept, s)
+	}
+	_, _, _, rep := decodeTracked(newStream(kept), 0, len(bits), dec, o)
+	if !rep.LockLost {
+		t.Fatalf("dispersed indecision undetected: %+v", rep)
+	}
+	if rep.LockLostBit < 15 || rep.LockLostBit > 32 {
+		t.Errorf("lock lost at bit %d, want near the onset at 20", rep.LockLostBit)
+	}
+}
+
+// TestMarginProperties pins the decoder confidence margin's contract:
+// decisive pairs score high, empty windows and mid-band flats score
+// zero, and the value is clamped to [0, 3].
+func TestMarginProperties(t *testing.T) {
+	dec := decoderFromRefs(40, 80)
+	cases := []struct {
+		name   string
+		t1, t2 float64
+		lo, hi float64
+	}{
+		{"fast plateau", 40, 40, 0.99, 3},
+		{"idle plateau", 80, 80, 0.99, 3},
+		{"full transition", 40, 80, 3, 3},
+		{"no samples t1", 0, 50, 0, 0},
+		{"no samples t2", 50, 0, 0, 0},
+		{"mid-band flat", 60, 60, 0, 0.2},
+	}
+	for _, c := range cases {
+		m := dec.margin(c.t1, c.t2)
+		if m < c.lo || m > c.hi {
+			t.Errorf("%s: margin(%v, %v) = %.2f, want in [%v, %v]", c.name, c.t1, c.t2, m, c.lo, c.hi)
+		}
+		if m < 0 || m > 3 {
+			t.Errorf("%s: margin %.2f escapes the [0, 3] clamp", c.name, m)
+		}
+	}
+	if m := (decoder{}).margin(40, 80); m != 0 {
+		t.Errorf("zero-valued decoder margin = %v, want 0", m)
+	}
+}

@@ -86,6 +86,46 @@ type Config struct {
 	// plateau latencies it observes. This is how a real attacker
 	// obtains Tfreq_max and Tfreq_min without knowing the platform.
 	OnlineCalibration bool
+	// StartOffset delays the sender's start by this much past the
+	// nominal shared instant, modelling an unknown phase between the
+	// parties. The receiver is NOT told: without Track its windows sit
+	// on the wrong intervals; with Track (and a calibration preamble)
+	// the acquisition correlator finds the offset in-band.
+	StartOffset sim.Time
+	// Track enables the self-synchronizing receiver: the probe loop
+	// records a continuous timestamped latency stream and the decode
+	// runs frame acquisition (with OnlineCalibration), symbol-timing
+	// tracking, and loss-of-lock detection over it. Result.Sync reports
+	// the outcome.
+	Track bool
+	// TrackerPPM seeds the tracker's clock-error estimate (ppm), the
+	// state a link layer carries from one locked frame into the next.
+	TrackerPPM float64
+	// TrackerPhase seeds the tracker's estimate of where bit 0 starts
+	// on the receiver's clock, relative to the nominal start — the
+	// acquired phase carried across frames that have no preamble.
+	TrackerPhase sim.Time
+	// AcquireSearch bounds the preamble hunt past the nominal start;
+	// zero means eight bit intervals.
+	AcquireSearch sim.Time
+	// Clock, when non-nil, replaces the linear SkewPPM model: it maps
+	// true elapsed time since the nominal start to the receiver's local
+	// clock reading. It must be monotone with Clock(0) == 0. Use it for
+	// wandering (slowly varying ppm) clock faults.
+	Clock func(sim.Time) sim.Time
+	// Preemptions are receiver blackouts: during [At, At+Dur) of true
+	// time past the nominal start the receiver is descheduled — it
+	// measures nothing, and its local timebase (which it advances by
+	// loop progress, not by re-reading the TSC after every sample)
+	// stands still, so a preemption longer than the tracker's pull-in
+	// range permanently desynchronizes an untracked receiver.
+	Preemptions []Preemption
+}
+
+// Preemption is one mid-transmission receiver blackout (an involuntary
+// context switch lasting Dur, starting At after the nominal start).
+type Preemption struct {
+	At, Dur sim.Time
 }
 
 // CalibrationBits is the known preamble used by OnlineCalibration: enough
@@ -137,6 +177,8 @@ type Result struct {
 	Latency *trace.Series
 	// T1, T2 are the per-interval window means, for diagnostics.
 	T1, T2 []float64
+	// Sync is the synchronization layer's report (set when Track).
+	Sync *SyncReport
 }
 
 // senderWorkload drives Algorithm 1's sender: during interval i it runs
@@ -160,7 +202,9 @@ func (w *senderWorkload) Step(ctx *system.Ctx) system.Activity {
 	return w.inner.Step(ctx)
 }
 
-// receiverWorkload measures T1/T2 window latencies per interval.
+// receiverWorkload measures T1/T2 window latencies per interval, or —
+// in tracked mode — records a continuous timestamped latency stream for
+// the synchronization layer to demodulate.
 type receiverWorkload struct {
 	lines    []cache.Line
 	start    sim.Time
@@ -168,21 +212,59 @@ type receiverWorkload struct {
 	window   sim.Time
 	n        int
 	per      int
-	skew     float64
+	clock    func(sim.Time) sim.Time // nil: ideal shared clock
+	blackout []Preemption
 
 	t1Sum, t2Sum []float64
 	t1N, t2N     []int
 	lat          *trace.Series
+	stream       []Sample // tracked mode: all samples, local timestamps
+	track        bool
+}
+
+// localRel maps true elapsed time since the nominal start to the
+// receiver's local clock: the configured clock model, minus the time the
+// local timebase stood still during preemption blackouts.
+func (w *receiverWorkload) localRel(rel sim.Time) sim.Time {
+	local := rel
+	if rel > 0 && w.clock != nil {
+		local = w.clock(rel)
+	}
+	for _, p := range w.blackout {
+		if rel <= p.At {
+			continue
+		}
+		frozen := rel - p.At
+		if frozen > p.Dur {
+			frozen = p.Dur
+		}
+		local -= frozen
+	}
+	return local
+}
+
+// preempted reports whether the receiver is descheduled at rel.
+func (w *receiverWorkload) preempted(rel sim.Time) bool {
+	for _, p := range w.blackout {
+		if rel >= p.At && rel < p.At+p.Dur {
+			return true
+		}
+	}
+	return false
 }
 
 func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
 	at := ctx.Start()
 	rel := at - w.start
-	if rel > 0 && w.skew != 0 {
-		// The receiver schedules its windows by its own clock.
-		rel = sim.Time(float64(rel) * (1 + w.skew*1e-6))
+	if w.preempted(rel) {
+		// The preemptor runs in the receiver's place: the core stays
+		// busy but no measurement happens and the receiver's local
+		// timebase stands still.
+		return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Quantum())}
 	}
+	local := w.localRel(rel)
 	measure := false
+	record := false
 	var sum *float64
 	var cnt *int
 	switch {
@@ -191,12 +273,17 @@ func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
 		// hot, like the real receiver spinning before the first
 		// interval.
 		measure = true
+	case w.track:
+		// Tracked mode: sample continuously; windowing happens in the
+		// demodulator, wherever the tracker ends up placing the
+		// windows.
+		measure, record = true, true
 	default:
-		idx := int(rel / w.interval)
+		idx := int(local / w.interval)
 		if idx >= w.n {
 			return system.Activity{Active: true, Cycles: ctx.CoreFreq().CyclesIn(ctx.Quantum())}
 		}
-		off := rel % w.interval
+		off := local % w.interval
 		if off < w.window {
 			measure, sum, cnt = true, &w.t1Sum[idx], &w.t1N[idx]
 		} else if off >= w.interval-w.window {
@@ -214,6 +301,9 @@ func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
 			if sum != nil {
 				*sum += lat
 				*cnt++
+			}
+			if record {
+				w.stream = append(w.stream, Sample{At: local + (ctx.Now() - at), Lat: lat})
 			}
 			if w.lat != nil {
 				w.lat.Add(ctx.Now(), lat)
@@ -295,8 +385,16 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 		send = append(append(channel.Bits{}, cal...), bits...)
 	}
 
+	// The receiver's clock model: an explicit wander function wins,
+	// otherwise the linear SkewPPM rate error.
+	clock := cfg.Clock
+	if clock == nil && cfg.SkewPPM != 0 {
+		rate := 1 + cfg.SkewPPM*1e-6
+		clock = func(rel sim.Time) sim.Time { return sim.Time(float64(rel) * rate) }
+	}
+
 	start := m.Now() + cfg.Lead
-	sw := &senderWorkload{start: start, interval: cfg.Interval, bits: send, inner: inner}
+	sw := &senderWorkload{start: start + cfg.StartOffset, interval: cfg.Interval, bits: send, inner: inner}
 	rw := &receiverWorkload{
 		lines:    lines,
 		start:    start,
@@ -304,7 +402,9 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 		window:   cfg.Window,
 		n:        len(send),
 		per:      cfg.SamplesPerQuantum,
-		skew:     cfg.SkewPPM,
+		clock:    clock,
+		blackout: cfg.Preemptions,
+		track:    cfg.Track,
 		t1Sum:    make([]float64, len(send)),
 		t2Sum:    make([]float64, len(send)),
 		t1N:      make([]int, len(send)),
@@ -327,32 +427,97 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 		if !ok {
 			slice = 0
 		}
-		extra := &senderWorkload{start: start, interval: cfg.Interval, bits: send, inner: &workload.Stalling{Slice: slice}}
+		extra := &senderWorkload{start: start + cfg.StartOffset, interval: cfg.Interval, bits: send, inner: &workload.Stalling{Slice: slice}}
 		threads = append(threads, m.Spawn(fmt.Sprintf("ufv-sender%d%s", i+2, names), cfg.Sender.Socket, core, cfg.SenderDomain, extra))
 	}
-	m.Run(cfg.Lead + cfg.Interval*sim.Time(len(send)) + m.Config().Quantum)
+	span := cfg.Lead + cfg.StartOffset + cfg.Interval*sim.Time(len(send)) + m.Config().Quantum
+	if cfg.Track {
+		// One extra interval of tail so the tracker's last windows stay
+		// inside the sampled stream even after cancelling skew.
+		span += cfg.Interval
+	}
+	m.Run(span)
 	for _, t := range threads {
 		t.Stop()
 	}
 
 	skip := len(send) - len(bits)
-	var dec decoder
-	if cfg.OnlineCalibration {
-		dec = calibrateDecoder(rw, skip)
+	res := Result{}
+	var received channel.Bits
+	if cfg.Track {
+		var rep SyncReport
+		received, res.T1, res.T2, rep = demodulate(m, cfg, rw.stream, skip, len(bits), probeSlice)
+		res.Sync = &rep
 	} else {
-		dec = newDecoder(m, cfg, probeSlice)
-	}
-	received := make(channel.Bits, len(bits))
-	res := Result{T1: make([]float64, len(bits)), T2: make([]float64, len(bits))}
-	for i := range bits {
-		t1 := mean(rw.t1Sum[skip+i], rw.t1N[skip+i])
-		t2 := mean(rw.t2Sum[skip+i], rw.t2N[skip+i])
-		res.T1[i], res.T2[i] = t1, t2
-		received[i] = dec.decide(t1, t2)
+		var dec decoder
+		if cfg.OnlineCalibration {
+			dec = calibrateDecoder(rw, skip)
+		} else {
+			dec = newDecoder(m, cfg, probeSlice)
+		}
+		received = make(channel.Bits, len(bits))
+		res.T1 = make([]float64, len(bits))
+		res.T2 = make([]float64, len(bits))
+		for i := range bits {
+			t1 := mean(rw.t1Sum[skip+i], rw.t1N[skip+i])
+			t2 := mean(rw.t2Sum[skip+i], rw.t2N[skip+i])
+			res.T1[i], res.T2[i] = t1, t2
+			received[i] = dec.decide(t1, t2)
+		}
 	}
 	res.Result = channel.Evaluate(bits, received, cfg.Interval)
 	res.Latency = rw.lat
 	return res, nil
+}
+
+// demodulate runs the synchronization layer over a tracked reception's
+// latency stream: acquisition (when a calibration preamble was sent),
+// then DLL symbol tracking over the payload bits.
+func demodulate(m *system.Machine, cfg Config, samples []Sample, skip, n, probeSlice int) (channel.Bits, []float64, []float64, SyncReport) {
+	str := newStream(samples)
+	opts := trackerOpts{interval: cfg.Interval, window: cfg.Window, ppmInit: cfg.TrackerPPM}
+	ivLocal := float64(cfg.Interval) * (1 + cfg.TrackerPPM*1e-6)
+
+	var dec decoder
+	p0 := float64(cfg.TrackerPhase) // estimated sender start, local clock
+	rep := SyncReport{Tracked: true}
+	if cfg.OnlineCalibration {
+		hold := skip / 2
+		search := cfg.AcquireSearch
+		if search <= 0 {
+			search = 8 * cfg.Interval
+		}
+		rep.AcquisitionRun = true
+		acq, ok := acquireStream(str, cfg.Interval, hold, search)
+		if ok {
+			rep.Acquired = true
+			rep.AcquireScore = acq.Score
+			dec = decoderFromRefs(acq.TMax, acq.TMin)
+			p0 = refinePhase(str, float64(acq.Start), skip, n, dec, opts)
+		} else {
+			// No lock: fall back to the nominal phase and read the
+			// references where the preamble should have been, as the
+			// untracked online calibration would.
+			ref := cfg.Interval / 4
+			at := sim.Time(p0)
+			tMax, _ := str.mean(at+sim.Time(hold)*cfg.Interval-ref, at+sim.Time(hold)*cfg.Interval)
+			tMin, _ := str.mean(at+sim.Time(skip)*cfg.Interval-ref, at+sim.Time(skip)*cfg.Interval)
+			dec = decoderFromRefs(tMax, tMin)
+		}
+	} else {
+		dec = newDecoder(m, cfg, probeSlice)
+	}
+
+	bitStart := sim.Time(p0 + float64(skip)*ivLocal)
+	bits, t1s, t2s, trep := decodeTracked(str, bitStart, n, dec, opts)
+	trep.AcquisitionRun = rep.AcquisitionRun
+	trep.Acquired = rep.Acquired
+	trep.AcquireScore = rep.AcquireScore
+	trep.Origin = sim.Time(p0)
+	if rep.AcquisitionRun && !rep.Acquired {
+		trep.Locked = false
+	}
+	return channel.Bits(bits), t1s, t2s, trep
 }
 
 // calibrateDecoder reads the latency references off the calibration
@@ -364,6 +529,14 @@ func calibrateDecoder(rw *receiverWorkload, calLen int) decoder {
 	hold := calLen / 2
 	tMax := mean(rw.t2Sum[hold-1], rw.t2N[hold-1])
 	tMin := mean(rw.t2Sum[calLen-1], rw.t2N[calLen-1])
+	return decoderFromRefs(tMax, tMin)
+}
+
+// decoderFromRefs sizes a decoder from calibrated plateau references:
+// the per-step latency gap follows from the nine-step frequency range,
+// setting the tolerances and the significance threshold without any
+// platform knowledge.
+func decoderFromRefs(tMax, tMin float64) decoder {
 	gap := (tMin - tMax) / 9
 	if gap < 0.5 {
 		gap = 0.5

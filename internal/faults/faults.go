@@ -24,6 +24,11 @@
 //     CorruptBits on the decoded bit stream.
 //   - Feedback loss: the reverse (ACK) channel loses a verdict with a
 //     configurable probability, via AckLost.
+//   - Synchronization faults: an unknown sender/receiver start phase
+//     (StartOffset, drawn once per session), a wandering receiver clock
+//     (ReceiverClock, a slowly varying ppm error), and rare long
+//     receiver blackouts (DesyncPreemption) — the processes the
+//     self-synchronizing receiver in channel/ufvariation must survive.
 //
 // Everything draws from sim.Rand streams split off one parent, so a
 // faulted run is bit-for-bit reproducible from its seed. One Injector
@@ -33,6 +38,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/channel"
 	"repro/internal/sim"
@@ -103,6 +109,25 @@ type Config struct {
 	// AckLossProb is the probability that a reverse-channel verdict is
 	// lost in transit.
 	AckLossProb float64
+
+	// StartOffsetBits is the maximum unknown phase between sender and
+	// receiver, in bit intervals of the first transmission: the actual
+	// offset is drawn uniformly once per injector and then held — two
+	// processes that started at an unknown relative instant keep that
+	// instant for the whole session.
+	StartOffsetBits float64
+	// WanderAmpPPM and WanderPeriod define a sinusoidal receiver clock
+	// wander: the clock-rate error swings ±WanderAmpPPM over each
+	// WanderPeriod (a slowly varying ppm fault — thermal TSC drift).
+	// The wander's initial phase is drawn once per injector.
+	WanderAmpPPM float64
+	WanderPeriod sim.Time
+	// DesyncPreemptProb is the per-transmission probability of one long
+	// receiver blackout of DesyncPreemptBits bit intervals — an
+	// involuntary descheduling long enough to freeze the receiver's
+	// loop-progress timebase past any tracker's pull-in range.
+	DesyncPreemptProb float64
+	DesyncPreemptBits float64
 }
 
 // DefaultConfig returns a representative fault mix scaled by intensity
@@ -157,6 +182,8 @@ type Stats struct {
 	ErasedBits int
 	// LostAcks counts reverse-channel verdicts lost.
 	LostAcks int
+	// DesyncPreemptions counts long receiver blackouts injected.
+	DesyncPreemptions int
 }
 
 // Injector drives one machine's fault processes. It is not safe for
@@ -164,12 +191,16 @@ type Stats struct {
 type Injector struct {
 	cfg Config
 
-	burstRng, epochRng, sampleRng, bitRng, ackRng *sim.Rand
+	burstRng, epochRng, sampleRng, bitRng, ackRng, clockRng *sim.Rand
 
-	bursting bool
-	bitBad   bool
-	stats    Stats
-	attached bool
+	bursting   bool
+	bitBad     bool
+	stats      Stats
+	attached   bool
+	haveOffset bool
+	offset     sim.Time
+	clock      func(sim.Time) sim.Time
+	haveClock  bool
 }
 
 // New returns an injector drawing all randomness from streams split off
@@ -183,6 +214,7 @@ func New(cfg Config, rng *sim.Rand) *Injector {
 		sampleRng: rng.Split(3),
 		bitRng:    rng.Split(4),
 		ackRng:    rng.Split(5),
+		clockRng:  rng.Split(6),
 	}
 }
 
@@ -337,6 +369,71 @@ func (inj *Injector) CorruptBits(bits channel.Bits) channel.Bits {
 		}
 	}
 	return out
+}
+
+// StartOffset returns the session's unknown sender/receiver phase: a
+// uniform draw from [0, StartOffsetBits] bit intervals of the interval
+// passed on the FIRST call, latched thereafter — the offset is a
+// property of when the two processes started, constant in time even
+// when the transport later changes its bit interval.
+func (inj *Injector) StartOffset(interval sim.Time) sim.Time {
+	if inj.cfg.StartOffsetBits <= 0 || interval <= 0 {
+		return 0
+	}
+	if !inj.haveOffset {
+		inj.offset = sim.Time(inj.clockRng.Float64() * inj.cfg.StartOffsetBits * float64(interval))
+		inj.haveOffset = true
+	}
+	return inj.offset
+}
+
+// ReceiverClock returns the receiver's clock map — local time as a
+// function of true elapsed time — combining a constant basePPM rate
+// error with the configured sinusoidal wander, or nil when neither is
+// set. The map is built once per injector (one session, one clock) and
+// satisfies Clock(0) == 0.
+func (inj *Injector) ReceiverClock(basePPM float64) func(sim.Time) sim.Time {
+	if !inj.haveClock {
+		inj.haveClock = true
+		amp := inj.cfg.WanderAmpPPM
+		period := inj.cfg.WanderPeriod
+		if amp <= 0 || period <= 0 {
+			if basePPM != 0 {
+				rate := 1 + basePPM*1e-6
+				inj.clock = func(rel sim.Time) sim.Time { return sim.Time(float64(rel) * rate) }
+			}
+		} else {
+			// Rate error basePPM + amp·sin(2πt/T + φ); integrate
+			// analytically so the map is exact at any query point.
+			phi := inj.clockRng.Float64() * 2 * math.Pi
+			w := 2 * math.Pi / float64(period)
+			inj.clock = func(rel sim.Time) sim.Time {
+				t := float64(rel)
+				wander := amp * 1e-6 / w * (math.Cos(phi) - math.Cos(w*t+phi))
+				return sim.Time(t*(1+basePPM*1e-6) + wander)
+			}
+		}
+	}
+	return inj.clock
+}
+
+// DesyncPreemption draws at most one long receiver blackout for a
+// transmission of nbits bit intervals: with probability
+// DesyncPreemptProb the receiver is descheduled for DesyncPreemptBits
+// intervals, starting uniformly within the middle half of the
+// transmission. It returns ok=false when no blackout fires.
+func (inj *Injector) DesyncPreemption(nbits int, interval sim.Time) (at, dur sim.Time, ok bool) {
+	if inj.cfg.DesyncPreemptProb <= 0 || inj.cfg.DesyncPreemptBits <= 0 || nbits <= 0 {
+		return 0, 0, false
+	}
+	if !inj.clockRng.Bool(inj.cfg.DesyncPreemptProb) {
+		return 0, 0, false
+	}
+	inj.stats.DesyncPreemptions++
+	span := sim.Time(nbits) * interval
+	at = span/4 + sim.Time(inj.clockRng.Float64()*float64(span)/2)
+	dur = sim.Time(inj.cfg.DesyncPreemptBits * float64(interval))
+	return at, dur, true
 }
 
 // AckLost reports whether the reverse channel loses the next verdict.

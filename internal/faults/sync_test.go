@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStartOffsetLatched: the unknown start phase is drawn once, within
+// its configured bound, and held for the session even when the caller's
+// bit interval later changes (the offset is a property of when the two
+// processes started, not of the current rate).
+func TestStartOffsetLatched(t *testing.T) {
+	cfg := Config{StartOffsetBits: 3}
+	interval := 21 * sim.Millisecond
+	inj := New(cfg, sim.NewRand(7))
+	off := inj.StartOffset(interval)
+	if off < 0 || off > 3*interval {
+		t.Fatalf("offset %v outside [0, %v]", off, 3*interval)
+	}
+	if again := inj.StartOffset(interval); again != off {
+		t.Errorf("offset re-drawn: %v then %v", off, again)
+	}
+	if again := inj.StartOffset(interval * 4); again != off {
+		t.Errorf("offset changed with the interval: %v then %v", off, again)
+	}
+	// Determinism: an identically seeded injector draws the same offset.
+	if other := New(cfg, sim.NewRand(7)).StartOffset(interval); other != off {
+		t.Errorf("same seed drew %v and %v", off, other)
+	}
+	// And the fault is off by default.
+	if off := New(Config{}, sim.NewRand(7)).StartOffset(interval); off != 0 {
+		t.Errorf("zero config drew a start offset %v", off)
+	}
+}
+
+// TestReceiverClockShape: the clock map is nil when no clock fault is
+// configured, starts at zero, stays monotone (the wander amplitude is
+// far below one), and averages out to the base rate over full wander
+// periods.
+func TestReceiverClockShape(t *testing.T) {
+	if c := New(Config{}, sim.NewRand(8)).ReceiverClock(0); c != nil {
+		t.Error("clean config produced a clock map")
+	}
+
+	// Base rate only: an exact linear map.
+	lin := New(Config{}, sim.NewRand(8)).ReceiverClock(2000)
+	if lin == nil {
+		t.Fatal("base rate alone produced no clock map")
+	}
+	if got := lin(sim.Second); got != sim.Time(float64(sim.Second)*1.002) {
+		t.Errorf("linear clock at 1s = %v", got)
+	}
+
+	cfg := Config{WanderAmpPPM: 1500, WanderPeriod: 2 * sim.Second}
+	clock := New(cfg, sim.NewRand(9)).ReceiverClock(2000)
+	if clock == nil {
+		t.Fatal("wander config produced no clock map")
+	}
+	if z := clock(0); z != 0 {
+		t.Errorf("Clock(0) = %v, want 0", z)
+	}
+	prev := sim.Time(0)
+	for step := sim.Time(1); step <= 4*sim.Second; step += 50 * sim.Millisecond {
+		now := clock(step)
+		if now <= prev {
+			t.Fatalf("clock not monotone: %v then %v at %v", prev, now, step)
+		}
+		prev = now
+	}
+	// Over exactly two wander periods the sinusoid integrates to zero:
+	// only the base rate remains.
+	at := 2 * cfg.WanderPeriod
+	want := float64(at) * 1.002
+	if got := float64(clock(at)); got < want-float64(sim.Millisecond) || got > want+float64(sim.Millisecond) {
+		t.Errorf("clock at two periods = %v, want ≈%v", got, want)
+	}
+
+	// The map is built once: repeated calls return the same function's
+	// values even with a different base argument.
+	inj := New(cfg, sim.NewRand(9))
+	first := inj.ReceiverClock(2000)
+	second := inj.ReceiverClock(0)
+	if first(sim.Second) != second(sim.Second) {
+		t.Error("clock map rebuilt on second call")
+	}
+}
+
+// TestDesyncPreemption: when armed, the blackout lands in the middle
+// half of the transmission with the configured duration, and the
+// injection is counted; unarmed configs never fire.
+func TestDesyncPreemption(t *testing.T) {
+	interval := 21 * sim.Millisecond
+	cfg := Config{DesyncPreemptProb: 1, DesyncPreemptBits: 8}
+	inj := New(cfg, sim.NewRand(10))
+	nbits := 96
+	span := sim.Time(nbits) * interval
+	for i := 0; i < 5; i++ {
+		at, dur, ok := inj.DesyncPreemption(nbits, interval)
+		if !ok {
+			t.Fatalf("armed preemption did not fire (draw %d)", i)
+		}
+		if at < span/4 || at >= span*3/4 {
+			t.Errorf("blackout at %v outside the middle half of %v", at, span)
+		}
+		if dur != 8*interval {
+			t.Errorf("blackout duration %v, want %v", dur, 8*interval)
+		}
+	}
+	if got := inj.Stats().DesyncPreemptions; got != 5 {
+		t.Errorf("DesyncPreemptions = %d, want 5", got)
+	}
+	if _, _, ok := New(Config{}, sim.NewRand(10)).DesyncPreemption(nbits, interval); ok {
+		t.Error("unarmed preemption fired")
+	}
+	if _, _, ok := New(cfg, sim.NewRand(10)).DesyncPreemption(0, interval); ok {
+		t.Error("preemption fired on an empty transmission")
+	}
+}

@@ -263,7 +263,15 @@ func Run(ctx context.Context, cfg Config, exps []experiments.Experiment) (Summar
 	}
 
 	for _, e := range exps {
-		if man != nil && cfg.Resume && man.completed(e.ID) {
+		// Workers mutate the manifest under mu as they record outcomes;
+		// the resume check must read it under the same lock.
+		cached := false
+		if man != nil && cfg.Resume {
+			mu.Lock()
+			cached = man.completed(e.ID)
+			mu.Unlock()
+		}
+		if cached {
 			record(Report{ID: e.ID, Title: e.Title, Status: StatusDone, Cached: true, Seed: cfg.Seed})
 			fmt.Fprintf(logw, "== %s: done in a previous sweep, skipping\n", e.ID)
 			continue

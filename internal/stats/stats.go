@@ -87,23 +87,32 @@ func Capacity(rate, e float64) float64 {
 	return rate * (1 - BinaryEntropy(e))
 }
 
-// ErrorRate compares two bit strings and returns the fraction that differ.
-// It panics on length mismatch: the protocols in this repository are
-// synchronous and never lose framing.
+// ErrorRate compares two bit strings and returns the fraction that
+// differ.
+//
+// Contract for mismatched lengths: every bit position carried by only
+// one of the two strings counts as an error, and the rate is normalised
+// by the longer length. A truncated receive therefore scores its missing
+// tail as errors instead of hiding it (the receiver demonstrably did not
+// get those bits), and an over-long receive is penalised for inventing
+// bits rather than silently trimmed. Two empty strings are a perfect
+// (if vacuous) transmission with rate 0. The result is always in [0, 1].
 func ErrorRate(sent, got []int) float64 {
-	if len(sent) != len(got) {
-		panic("stats: bit string length mismatch")
+	long := len(sent)
+	if len(got) > long {
+		long = len(got)
 	}
-	if len(sent) == 0 {
+	if long == 0 {
 		return 0
 	}
-	n := 0
-	for i := range sent {
+	short := len(sent) + len(got) - long
+	n := long - short // unmatched tail, all errors
+	for i := 0; i < short; i++ {
 		if sent[i] != got[i] {
 			n++
 		}
 	}
-	return float64(n) / float64(len(sent))
+	return float64(n) / float64(long)
 }
 
 // Resample linearly resamples xs to n points; it is used to normalise

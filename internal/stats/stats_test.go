@@ -79,19 +79,36 @@ func TestCapacity(t *testing.T) {
 	}
 }
 
+// TestErrorRate pins the mismatched-length contract: unmatched tail bits
+// on either side are errors, normalised by the longer string.
 func TestErrorRate(t *testing.T) {
-	if ErrorRate([]int{1, 0, 1, 1}, []int{1, 1, 1, 0}) != 0.5 {
-		t.Error("error rate wrong")
+	cases := []struct {
+		name      string
+		sent, got []int
+		want      float64
+	}{
+		{"equal length, half wrong", []int{1, 0, 1, 1}, []int{1, 1, 1, 0}, 0.5},
+		{"equal length, clean", []int{1, 0, 1}, []int{1, 0, 1}, 0},
+		{"equal length, all wrong", []int{1, 1}, []int{0, 0}, 1},
+		{"both empty", nil, nil, 0},
+		{"truncated receive, clean prefix", []int{1, 0, 1, 1}, []int{1, 0}, 0.5},
+		{"truncated receive, dirty prefix", []int{1, 0, 1, 1}, []int{0, 0}, 0.75},
+		{"nothing received", []int{1, 0, 1, 1}, nil, 1},
+		{"over-long receive, clean prefix", []int{1, 0}, []int{1, 0, 1, 1}, 0.5},
+		{"over-long receive, dirty prefix", []int{1}, []int{0, 0}, 1},
+		{"nothing sent, bits received", nil, []int{1, 0}, 1},
 	}
-	if ErrorRate(nil, nil) != 0 {
-		t.Error("empty error rate not 0")
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch accepted")
+	for _, c := range cases {
+		if got := ErrorRate(c.sent, c.got); got != c.want {
+			t.Errorf("%s: ErrorRate(%v, %v) = %v, want %v", c.name, c.sent, c.got, got, c.want)
 		}
-	}()
-	ErrorRate([]int{1}, []int{1, 0})
+	}
+	// The rate is always a valid probability, whatever the lengths.
+	for _, pair := range [][2][]int{{nil, {1}}, {{1, 1, 1}, {0}}, {{0}, {1, 1, 1, 1}}} {
+		if r := ErrorRate(pair[0], pair[1]); r < 0 || r > 1 {
+			t.Errorf("ErrorRate(%v, %v) = %v outside [0, 1]", pair[0], pair[1], r)
+		}
+	}
 }
 
 func TestResample(t *testing.T) {
