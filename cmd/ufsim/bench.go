@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
+)
+
+// benchCmd is the `ufsim bench` subcommand: it runs the performance
+// harness of internal/bench — the simulator's hot-path micro-benchmarks
+// plus (in full mode) whole quick experiment trials — optionally merges a
+// parsed `go test -bench` output, and writes the normalized BENCH_*.json
+// report. The exit status enforces the zero-allocation contract: any
+// tagged case that allocates in steady state fails the command, which is
+// what CI gates on.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		short = fs.Bool("short", false, "skip the multi-second trial cases (the CI gate)")
+		out   = fs.String("out", "", "report path (default BENCH_<date>.json)")
+		merge = fs.String("merge", "", "`go test -bench -benchmem` output file to fold into the report")
+		quiet = fs.Bool("quiet", false, "suppress per-case progress lines")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ufsim bench [-short] [-out FILE] [-merge go-bench.txt] [-quiet]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	rep, runErr := bench.Run(bench.Config{Short: *short, Log: log})
+	rep.Date = date
+
+	if *merge != "" {
+		f, err := os.Open(*merge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ufsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		parsed, err := bench.ParseGoBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ufsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, parsed...)
+	}
+
+	// Persist even a failing run: the regressed numbers are the
+	// evidence the failure message points at.
+	if err := runner.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "ufsim bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: %d results -> %s\n", len(rep.Results), path)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "ufsim bench: %v\n", runErr)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,12 @@
 // its per-frame transcript:
 //
 //	ufsim reliability -intensity 0.75 -bytes 32
+//
+// The bench subcommand runs the performance-regression harness and
+// writes a normalized BENCH_<date>.json (see scripts/bench.sh):
+//
+//	ufsim bench                 full run, including quick experiment trials
+//	ufsim bench -short          hot-path cases only (the CI gate)
 package main
 
 import (
@@ -49,6 +55,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "reliability" {
 		reliabilityCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		benchCmd(os.Args[2:])
 		return
 	}
 	os.Exit(run())

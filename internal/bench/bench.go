@@ -1,0 +1,296 @@
+// Package bench is the performance-regression harness behind `ufsim
+// bench` and scripts/bench.sh. It runs a registry of micro-benchmarks
+// covering the simulator's hot paths — engine dispatch, mesh hop
+// accounting, cache accesses, whole quanta and epochs, and full quick
+// experiment trials — through testing.Benchmark, normalizes the results
+// (ns/op, B/op, allocs/op, trials/sec), and enforces the zero-allocation
+// contract: tagged cases fail the run if their steady state allocates.
+//
+// The registry intentionally duplicates the shapes of the per-package
+// benchmarks in *_test.go files (which `go test -bench` runs): test
+// functions cannot be invoked from a shipped binary, and the binary-side
+// registry is what CI gates on without compiling test packages.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Case is one registered micro-benchmark.
+type Case struct {
+	// Name identifies the case in reports; stable across runs so
+	// BENCH_*.json files diff cleanly.
+	Name string
+	// ZeroAlloc tags a case whose steady state must not allocate: Run
+	// reports an error when it measures a nonzero allocs/op.
+	ZeroAlloc bool
+	// Trial marks a whole-experiment case whose throughput is also
+	// reported as trials/sec.
+	Trial bool
+	// Long excludes the case from short runs (the CI gate), which only
+	// need the allocation contract, not the multi-second trials.
+	Long bool
+	// Fn is the benchmark body; it must call b.ReportAllocs so the
+	// allocation columns are populated.
+	Fn func(b *testing.B)
+}
+
+// Result is one case's normalized measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// TrialsPerSec is 1e9/NsPerOp for Trial cases, 0 otherwise.
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+	// ZeroAlloc records whether the case was gated.
+	ZeroAlloc bool `json:"zero_alloc,omitempty"`
+	// Source is "bench" for registry cases and "go test" for results
+	// merged from a parsed `go test -bench` run.
+	Source string `json:"source,omitempty"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	// Date is the run date (YYYY-MM-DD), supplied by the caller.
+	Date string `json:"date"`
+	// Short records whether long cases were skipped.
+	Short bool `json:"short"`
+	// Results holds every measurement, registry cases first.
+	Results []Result `json:"results"`
+}
+
+// Config tunes a Run.
+type Config struct {
+	// Short skips Long cases.
+	Short bool
+	// Log, when non-nil, receives one progress line per case.
+	Log io.Writer
+}
+
+// Cases returns the benchmark registry in run order.
+func Cases() []Case {
+	return []Case{
+		{Name: "engine-dispatch", ZeroAlloc: true, Fn: benchEngineDispatch},
+		{Name: "mesh-add-traffic", ZeroAlloc: true, Fn: benchMeshAddTraffic},
+		{Name: "mesh-contention", ZeroAlloc: true, Fn: benchMeshContention},
+		{Name: "cache-l1-hit", ZeroAlloc: true, Fn: benchCacheL1Hit},
+		{Name: "cache-llc-hit", ZeroAlloc: true, Fn: benchCacheLLCHit},
+		{Name: "cache-flush", ZeroAlloc: true, Fn: benchCacheFlush},
+		{Name: "machine-quantum", ZeroAlloc: true, Fn: benchMachineQuantum},
+		{Name: "machine-epoch", ZeroAlloc: true, Fn: benchMachineEpoch},
+		{Name: "trial-sync-quick", Trial: true, Long: true, Fn: benchTrialSync},
+		{Name: "trial-rel-quick", Trial: true, Long: true, Fn: benchTrialRel},
+	}
+}
+
+// Run executes the registry and returns the normalized report (dated by
+// the caller). The returned error aggregates zero-allocation violations;
+// the report is valid even when err != nil, so callers can persist the
+// failing numbers.
+func Run(cfg Config) (Report, error) {
+	var rep Report
+	rep.Short = cfg.Short
+	var violations []string
+	for _, c := range Cases() {
+		if cfg.Short && c.Long {
+			continue
+		}
+		start := time.Now()
+		res := testing.Benchmark(c.Fn)
+		r := normalize(c, res)
+		rep.Results = append(rep.Results, r)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "bench: %-18s %12.1f ns/op %6d B/op %4d allocs/op (%.1fs)\n",
+				c.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, time.Since(start).Seconds())
+		}
+		if c.ZeroAlloc && r.AllocsPerOp > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %d allocs/op (must be 0)", c.Name, r.AllocsPerOp))
+		}
+	}
+	if len(violations) > 0 {
+		return rep, fmt.Errorf("bench: zero-alloc contract violated: %v", violations)
+	}
+	return rep, nil
+}
+
+// normalize converts a testing.BenchmarkResult into a Result row.
+func normalize(c Case, res testing.BenchmarkResult) Result {
+	r := Result{
+		Name:        c.Name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		ZeroAlloc:   c.ZeroAlloc,
+		Source:      "bench",
+	}
+	if c.Trial && r.NsPerOp > 0 {
+		r.TrialsPerSec = 1e9 / r.NsPerOp
+	}
+	return r
+}
+
+// --- case bodies -------------------------------------------------------
+
+// benchEngineDispatch times one engine instant with the machine's ticker
+// population shape: many same-period threads plus a slower governor.
+func benchEngineDispatch(b *testing.B) {
+	e := sim.NewEngine()
+	period := 200 * sim.Microsecond
+	for i := 0; i < 16; i++ {
+		e.Add(&sim.Ticker{Name: "thread", Period: period, Fn: func(sim.Time) {}})
+	}
+	e.Add(&sim.Ticker{Name: "epoch", Period: 50 * period, Priority: 10, Fn: func(sim.Time) {}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(period)
+	}
+}
+
+func benchMesh() (*mesh.Mesh, topo.Coord, topo.Coord) {
+	die := topo.XeonGold6142Socket0
+	m := mesh.New(die, mesh.KindMesh, mesh.DefaultParams())
+	return m, die.CoreCoord(0), die.SliceCoord(die.NumSlices() - 1)
+}
+
+func benchMeshAddTraffic(b *testing.B) {
+	m, src, dst := benchMesh()
+	m.BeginQuantum(200*sim.Microsecond, sim.Freq(24))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddTraffic(0, src, dst, 1)
+	}
+}
+
+func benchMeshContention(b *testing.B) {
+	m, src, dst := benchMesh()
+	m.BeginQuantum(200*sim.Microsecond, sim.Freq(24))
+	m.AddTraffic(1, src, dst, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ContentionCycles(0, src, dst)
+	}
+}
+
+func benchCacheL1Hit(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultGeometry(16))
+	cc := h.NewCore()
+	line := cache.Line(1 << 20)
+	cc.Access(0, line)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.Access(0, line)
+	}
+}
+
+// benchCacheLLCHit rotates over more same-L2-set lines than the L2
+// holds — the paper's eviction-list pattern, and the steady-state load of
+// the sender and receiver loops.
+func benchCacheLLCHit(b *testing.B) {
+	geom := cache.DefaultGeometry(16)
+	h := cache.NewHierarchy(geom)
+	cc := h.NewCore()
+	lines := make([]cache.Line, geom.L2Ways+4)
+	for i := range lines {
+		lines[i] = cache.Line(1<<20 | 5 | i*geom.L2Sets)
+	}
+	for r := 0; r < 2; r++ {
+		for _, l := range lines {
+			cc.Access(0, l)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.Access(0, lines[i%len(lines)])
+	}
+}
+
+func benchCacheFlush(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultGeometry(16))
+	cc := h.NewCore()
+	line := cache.Line(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.Access(0, line)
+		h.Flush(line)
+	}
+}
+
+// busyMachine builds the mixed-load machine the machine-level cases
+// advance: traffic threads, a stalling thread, and a measurement probe.
+func busyMachine(b *testing.B) *system.Machine {
+	m := system.New(system.DefaultConfig())
+	for c := 0; c < 6; c++ {
+		slice, ok := m.Socket(0).Die.SliceAtHops(c, 1)
+		if !ok {
+			slice, _ = m.Socket(0).Die.SliceAtHops(c, 0)
+		}
+		m.Spawn("bench-traffic", 0, c, 0, &workload.Traffic{Slice: slice})
+	}
+	slice, _ := m.Socket(0).Die.SliceAtHops(8, 0)
+	m.Spawn("bench-stall", 0, 8, 0, &workload.Stalling{Slice: slice})
+	lines, err := memsys.EvictionList(m.Socket(0).Hier, 0, memsys.NewAllocator(), 10, slice, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Spawn("bench-probe", 0, 9, 0, &workload.Measure{Lines: lines, PerQuantum: 20})
+	return m
+}
+
+func benchMachineQuantum(b *testing.B) {
+	m := busyMachine(b)
+	q := m.Config().Quantum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(q)
+	}
+}
+
+func benchMachineEpoch(b *testing.B) {
+	m := busyMachine(b)
+	e := m.Config().UFS.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(e)
+	}
+}
+
+// benchTrial runs one quick experiment trial per iteration; trials/sec
+// over these cases is the harness's headline throughput number.
+func benchTrial(b *testing.B, id string) {
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Options{Seed: 0x5eed + uint64(i), Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTrialSync(b *testing.B) { benchTrial(b, "sync") }
+func benchTrialRel(b *testing.B)  { benchTrial(b, "rel") }

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseGoBench reads `go test -bench -benchmem` output and returns one
+// Result per benchmark line, so scripts/bench.sh can fold the existing
+// *_test.go suite into the same normalized BENCH_*.json as the registry
+// cases. Lines that are not benchmark results (package headers, PASS/ok,
+// experiment metrics) are skipped; a malformed benchmark line is an
+// error, because silently dropping measurements would make a regression
+// look like a rename.
+func ParseGoBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseBenchLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   1234   567.8 ns/op   90 B/op   1 allocs/op   2.4 extra/unit
+//
+// keeping the name (with the GOMAXPROCS suffix trimmed) and the three
+// standard columns; extra ReportMetric units are ignored.
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("want at least name, count, value, unit")
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Source: "go test"}
+	// Columns after the iteration count come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, fmt.Errorf("no ns/op column")
+	}
+	return r, nil
+}

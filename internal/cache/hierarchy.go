@@ -112,6 +112,10 @@ type Hierarchy struct {
 	ways     map[Domain]WayRange
 	watchers []EvictionWatcher
 
+	// flushSeen is Flush's reused (slice, set) dedup scratch; the domain
+	// count is tiny, so a linear scan beats a rebuilt map every call.
+	flushSeen [][2]int
+
 	// stats
 	llcInserts, llcEvictions uint64
 }
@@ -166,8 +170,12 @@ func (h *Hierarchy) SetDomainWays(d Domain, wr WayRange) { h.ways[d] = wr }
 func (h *Hierarchy) Watch(w EvictionWatcher) { h.watchers = append(h.watchers, w) }
 
 func (h *Hierarchy) hashFor(d Domain) SliceHash {
-	if sh, ok := h.domainHash[d]; ok {
-		return sh
+	// The common platform installs no per-domain hash; skip the map probe
+	// entirely on that hot path.
+	if len(h.domainHash) != 0 {
+		if sh, ok := h.domainHash[d]; ok {
+			return sh
+		}
 	}
 	return h.defaultHash
 }
@@ -188,9 +196,11 @@ func (h *Hierarchy) llcInsert(d Domain, line Line) {
 	slice := h.SliceOf(d, line)
 	set := h.LLCSetOf(d, line)
 	sa := h.slices[slice]
-	wr, ok := h.ways[d]
-	if !ok {
-		wr = WayRange{Lo: 0, N: sa.Ways()}
+	wr := WayRange{Lo: 0, N: sa.Ways()}
+	if len(h.ways) != 0 {
+		if w, ok := h.ways[d]; ok {
+			wr = w
+		}
 	}
 	evicted, was := sa.InsertWays(set, line, wr.Lo, wr.N)
 	h.llcInserts++
@@ -254,24 +264,34 @@ func (h *Hierarchy) Flush(line Line) bool {
 		}
 	}
 	// The flushed line may live under any domain's mapping; clear all.
-	seen := map[[2]int]bool{}
-	clear1 := func(d Domain) {
-		slice := h.SliceOf(d, line)
-		set := h.LLCSetOf(d, line)
-		key := [2]int{slice, set}
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		if h.slices[slice].Remove(set, line) {
-			present = true
-		}
-	}
-	clear1(Domain(0))
+	// The dedup scratch is owned by the hierarchy and reused per flush —
+	// domains are few, so the linear membership scan is cheaper than a
+	// map rebuilt on every clflush.
+	seen := h.flushSeen[:0]
+	seen, present = h.flushUnder(Domain(0), line, seen, present)
 	for d := range h.domainHash {
-		clear1(d)
+		seen, present = h.flushUnder(d, line, seen, present)
 	}
+	h.flushSeen = seen[:0]
 	return present
+}
+
+// flushUnder removes line from its home (slice, set) under domain d's
+// mapping, skipping positions already cleared this flush.
+func (h *Hierarchy) flushUnder(d Domain, line Line, seen [][2]int, present bool) ([][2]int, bool) {
+	slice := h.SliceOf(d, line)
+	set := h.LLCSetOf(d, line)
+	key := [2]int{slice, set}
+	for _, k := range seen {
+		if k == key {
+			return seen, present
+		}
+	}
+	seen = append(seen, key)
+	if h.slices[slice].Remove(set, line) {
+		present = true
+	}
+	return seen, present
 }
 
 // CoreCaches is one core's private L1 and L2, bound to the shared

@@ -21,15 +21,23 @@ const LineSize = 64
 // right by 6).
 type Line uint64
 
+// way is one cache way: the resident line, its LRU stamp, and a validity
+// flag, kept together so a set lookup walks one contiguous array instead
+// of three parallel slices.
+type way struct {
+	line  Line
+	age   uint64
+	valid bool
+}
+
 // SetAssoc is one set-associative cache array with true-LRU replacement.
 // Insertion can be restricted to a way range, which is how way-partitioning
-// defences are expressed.
+// defences are expressed. Each set's ways are contiguous in memory; every
+// operation is a single pass over that span and allocates nothing.
 type SetAssoc struct {
 	sets  int
 	ways  int
-	lines []Line
-	valid []bool
-	age   []uint64
+	arr   []way
 	stamp uint64
 }
 
@@ -42,13 +50,10 @@ func NewSetAssoc(sets, ways int) *SetAssoc {
 	if ways <= 0 {
 		panic(fmt.Sprintf("cache: non-positive way count %d", ways))
 	}
-	n := sets * ways
 	return &SetAssoc{
-		sets:  sets,
-		ways:  ways,
-		lines: make([]Line, n),
-		valid: make([]bool, n),
-		age:   make([]uint64, n),
+		sets: sets,
+		ways: ways,
+		arr:  make([]way, sets*ways),
 	}
 }
 
@@ -64,16 +69,21 @@ func (c *SetAssoc) checkSet(set int) {
 	}
 }
 
+// span returns the contiguous way array of set.
+func (c *SetAssoc) span(set int) []way {
+	base := set * c.ways
+	return c.arr[base : base+c.ways]
+}
+
 // Lookup reports whether line is present in set, updating LRU state on a
 // hit.
 func (c *SetAssoc) Lookup(set int, line Line) bool {
 	c.checkSet(set)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.lines[i] == line {
+	ws := c.span(set)
+	for i := range ws {
+		if ws[i].valid && ws[i].line == line {
 			c.stamp++
-			c.age[i] = c.stamp
+			ws[i].age = c.stamp
 			return true
 		}
 	}
@@ -84,10 +94,9 @@ func (c *SetAssoc) Lookup(set int, line Line) bool {
 // access).
 func (c *SetAssoc) Contains(set int, line Line) bool {
 	c.checkSet(set)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.lines[i] == line {
+	ws := c.span(set)
+	for i := range ws {
+		if ws[i].valid && ws[i].line == line {
 			return true
 		}
 	}
@@ -109,37 +118,35 @@ func (c *SetAssoc) InsertWays(set int, line Line, wayLo, wayN int) (evicted Line
 	if wayLo < 0 || wayN <= 0 || wayLo+wayN > c.ways {
 		panic(fmt.Sprintf("cache: way range [%d,%d) outside [0,%d)", wayLo, wayLo+wayN, c.ways))
 	}
-	base := set * c.ways
+	ws := c.span(set)[wayLo : wayLo+wayN]
 	victim := -1
-	for w := wayLo; w < wayLo+wayN; w++ {
-		i := base + w
-		if !c.valid[i] {
+	for i := range ws {
+		if !ws[i].valid {
 			victim = i
 			break
 		}
-		if victim == -1 || c.age[i] < c.age[victim] {
+		if victim == -1 || ws[i].age < ws[victim].age {
 			victim = i
 		}
 	}
-	i := victim
-	if c.valid[i] {
-		evicted, wasEvicted = c.lines[i], true
+	w := &ws[victim]
+	if w.valid {
+		evicted, wasEvicted = w.line, true
 	}
 	c.stamp++
-	c.lines[i] = line
-	c.valid[i] = true
-	c.age[i] = c.stamp
+	w.line = line
+	w.valid = true
+	w.age = c.stamp
 	return evicted, wasEvicted
 }
 
 // Remove invalidates line in set if present, reporting whether it was.
 func (c *SetAssoc) Remove(set int, line Line) bool {
 	c.checkSet(set)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.lines[i] == line {
-			c.valid[i] = false
+	ws := c.span(set)
+	for i := range ws {
+		if ws[i].valid && ws[i].line == line {
+			ws[i].valid = false
 			return true
 		}
 	}
@@ -149,10 +156,9 @@ func (c *SetAssoc) Remove(set int, line Line) bool {
 // Occupancy returns the number of valid lines in set.
 func (c *SetAssoc) Occupancy(set int) int {
 	c.checkSet(set)
-	base := set * c.ways
 	n := 0
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] {
+	for _, w := range c.span(set) {
+		if w.valid {
 			n++
 		}
 	}
@@ -161,7 +167,7 @@ func (c *SetAssoc) Occupancy(set int) int {
 
 // Flush invalidates every line in the array.
 func (c *SetAssoc) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.arr {
+		c.arr[i].valid = false
 	}
 }

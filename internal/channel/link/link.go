@@ -9,9 +9,35 @@ package link
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/channel"
 )
+
+// bitPool recycles the intermediate bit buffers of the encode/decode path
+// (the padded payload, the flat codeword stream, the deinterleaved view).
+// A transport retransmitting under ARQ re-encodes the same frame many
+// times; without the pool each pass allocates three payload-sized slices.
+// Only intermediates are pooled — buffers returned to callers are always
+// freshly sized for exactly one result.
+var bitPool = sync.Pool{
+	New: func() any {
+		b := make(channel.Bits, 0, 256)
+		return &b
+	},
+}
+
+// getBits returns a pooled buffer with length 0 and capacity at least n.
+func getBits(n int) *channel.Bits {
+	p := bitPool.Get().(*channel.Bits)
+	if cap(*p) < n {
+		*p = make(channel.Bits, 0, n)
+	}
+	*p = (*p)[:0]
+	return p
+}
+
+func putBits(p *channel.Bits) { bitPool.Put(p) }
 
 // hamming74Encode expands 4 data bits into a 7-bit codeword with
 // single-error correction. Bit layout (1-indexed positions as in the
@@ -46,16 +72,21 @@ func Encode(bits channel.Bits, depth int) channel.Bits {
 	if depth <= 0 {
 		panic("link: interleave depth must be positive")
 	}
-	padded := append(channel.Bits{}, bits...)
+	pp := getBits(len(bits) + 3)
+	defer putBits(pp)
+	padded := append(*pp, bits...)
 	for len(padded)%4 != 0 {
 		padded = append(padded, 0)
 	}
-	flat := make(channel.Bits, 0, len(padded)/4*7)
+	fp := getBits(len(padded) / 4 * 7)
+	defer putBits(fp)
+	flat := *fp
 	for i := 0; i < len(padded); i += 4 {
 		cw := hamming74Encode([4]int{padded[i], padded[i+1], padded[i+2], padded[i+3]})
 		flat = append(flat, cw[:]...)
 	}
-	return interleave(flat, depth)
+	*pp, *fp = padded, flat
+	return interleaveInto(make(channel.Bits, 0, len(flat)), flat, depth)
 }
 
 // Decode reverses Encode, returning n payload bits and the number of
@@ -67,8 +98,11 @@ func Decode(coded channel.Bits, n, depth int) (channel.Bits, int, error) {
 	if len(coded)%7 != 0 {
 		return nil, 0, fmt.Errorf("link: coded length %d is not a whole number of codewords", len(coded))
 	}
-	flat := deinterleave(coded, depth)
-	var out channel.Bits
+	fp := getBits(len(coded))
+	defer putBits(fp)
+	flat := deinterleaveInto((*fp)[:0], coded, depth)
+	*fp = flat
+	out := make(channel.Bits, 0, len(flat)/7*4)
 	corrections := 0
 	for i := 0; i+7 <= len(flat); i += 7 {
 		var cw [7]int
@@ -90,29 +124,42 @@ func Decode(coded channel.Bits, n, depth int) (channel.Bits, int, error) {
 // single-column matrix — the identity — and short-circuits, which also
 // bounds the work to O(len(bits)) for absurd depths from hostile input.
 func interleave(bits channel.Bits, depth int) channel.Bits {
+	return interleaveInto(make(channel.Bits, 0, len(bits)), bits, depth)
+}
+
+// interleaveInto is interleave appending into dst (which must not alias
+// bits), for callers that size or pool the destination themselves.
+func interleaveInto(dst, bits channel.Bits, depth int) channel.Bits {
 	if depth == 1 || len(bits) == 0 || depth >= len(bits) {
-		return append(channel.Bits{}, bits...)
+		return append(dst, bits...)
 	}
 	cols := (len(bits) + depth - 1) / depth
-	out := make(channel.Bits, 0, len(bits))
 	for c := 0; c < cols; c++ {
 		for r := 0; r < depth; r++ {
 			idx := r*cols + c
 			if idx < len(bits) {
-				out = append(out, bits[idx])
+				dst = append(dst, bits[idx])
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // deinterleave inverts interleave for the same depth and length.
 func deinterleave(bits channel.Bits, depth int) channel.Bits {
+	return deinterleaveInto(make(channel.Bits, 0, len(bits)), bits, depth)
+}
+
+// deinterleaveInto is deinterleave writing into dst's backing array (dst
+// must be length 0 and must not alias bits).
+func deinterleaveInto(dst, bits channel.Bits, depth int) channel.Bits {
 	if depth == 1 || len(bits) == 0 || depth >= len(bits) {
-		return append(channel.Bits{}, bits...)
+		return append(dst, bits...)
 	}
 	cols := (len(bits) + depth - 1) / depth
-	out := make(channel.Bits, len(bits))
+	// Seed the output at full length; the loop below overwrites every
+	// index exactly once (the interleave is a permutation).
+	out := append(dst, bits...)
 	pos := 0
 	for c := 0; c < cols; c++ {
 		for r := 0; r < depth; r++ {

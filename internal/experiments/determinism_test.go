@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// renderOnce runs the experiment with the recorded-results options in
+// Quick mode and returns its rendered report.
+func renderOnce(t *testing.T, id string) []byte {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	res, err := e.Run(Options{Seed: 0x5eed, Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatalf("%s: render: %v", id, err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenOutputs pins the rendered reports of representative
+// experiments to goldens captured before the hot-path overhaul (heap
+// scheduler, dense mesh accounting, scratch-buffer caches). Any
+// behavioural drift from the performance work — a reordered cohort, a
+// float summed in a different order, a skipped sample — shows up here as
+// a byte diff, not as a silently shifted result.
+//
+// Regenerate (only for an intentional behaviour change) by updating the
+// files from the test failure output or re-running the generator in the
+// PR that introduced them.
+func TestGoldenOutputs(t *testing.T) {
+	for _, id := range []string{"fig3", "sync", "rel"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got := renderOnce(t, id)
+			path := filepath.Join("testdata", "golden_"+id+"_quick.txt")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", id, path, got, want)
+			}
+		})
+	}
+}
+
+// TestRunTwiceIdentical runs experiments twice with the same seed and
+// requires byte-identical reports: the simulation must be a pure
+// function of its options. This catches nondeterminism the goldens
+// cannot — state leaked between runs through package-level scratch
+// (pools, reused buffers) or iteration-order-dependent accumulation.
+func TestRunTwiceIdentical(t *testing.T) {
+	for _, id := range []string{"fig3", "sync"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			first := renderOnce(t, id)
+			second := renderOnce(t, id)
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s: two runs with the same seed rendered different reports\n--- first ---\n%s\n--- second ---\n%s", id, first, second)
+			}
+		})
+	}
+}

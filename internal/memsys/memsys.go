@@ -29,7 +29,8 @@ type Allocator struct {
 // line 0 never appears (it is a handy sentinel in tests).
 func NewAllocator() *Allocator { return &Allocator{next: 1 << 20} }
 
-// Reserve returns n fresh, consecutively numbered lines.
+// Reserve returns n fresh, consecutively numbered lines. The returned
+// slice is owned by the caller.
 func (a *Allocator) Reserve(n int) []cache.Line {
 	if n <= 0 {
 		panic(fmt.Sprintf("memsys: cannot reserve %d lines", n))
@@ -40,6 +41,15 @@ func (a *Allocator) Reserve(n int) []cache.Line {
 		a.next++
 	}
 	return out
+}
+
+// ReserveOne returns the next fresh line without allocating. It is the
+// candidate-scan primitive: set construction consumes one address per
+// probe, and a per-probe slice would dominate the builder's allocations.
+func (a *Allocator) ReserveOne() cache.Line {
+	l := a.next
+	a.next++
+	return l
 }
 
 // searchLimit bounds address-space scans; generous relative to any list the
@@ -53,6 +63,14 @@ const searchLimit = 1 << 26
 // The allocator's address space is consumed; candidate lines that map
 // elsewhere are skipped, as a real attacker's page pool would be.
 func EvictionList(h *cache.Hierarchy, d cache.Domain, a *Allocator, l2set, slice, m int) ([]cache.Line, error) {
+	return EvictionListInto(make([]cache.Line, 0, m), h, d, a, l2set, slice, m)
+}
+
+// EvictionListInto is EvictionList appending into dst, for builders that
+// reuse a scratch buffer across constructions. The returned slice aliases
+// dst's backing array (possibly regrown); ownership transfers to the
+// caller, and dst must not be used again independently.
+func EvictionListInto(dst []cache.Line, h *cache.Hierarchy, d cache.Domain, a *Allocator, l2set, slice, m int) ([]cache.Line, error) {
 	geom := h.Geometry()
 	if l2set < 0 || l2set >= geom.L2Sets {
 		return nil, fmt.Errorf("memsys: L2 set %d out of range [0,%d)", l2set, geom.L2Sets)
@@ -60,8 +78,8 @@ func EvictionList(h *cache.Hierarchy, d cache.Domain, a *Allocator, l2set, slice
 	if slice < 0 || slice >= geom.Slices {
 		return nil, fmt.Errorf("memsys: slice %d out of range [0,%d)", slice, geom.Slices)
 	}
-	var out []cache.Line
-	for tries := 0; len(out) < m && tries < searchLimit; tries++ {
+	out, start := dst, len(dst)
+	for tries := 0; len(out)-start < m && tries < searchLimit; tries++ {
 		// Advance to the next line whose low bits select the wanted
 		// L2 set, consuming the skipped address space.
 		base := a.next
@@ -75,8 +93,8 @@ func EvictionList(h *cache.Hierarchy, d cache.Domain, a *Allocator, l2set, slice
 		}
 		out = append(out, line)
 	}
-	if len(out) < m {
-		return nil, fmt.Errorf("memsys: found only %d/%d lines for L2 set %d slice %d", len(out), m, l2set, slice)
+	if got := len(out) - start; got < m {
+		return nil, fmt.Errorf("memsys: found only %d/%d lines for L2 set %d slice %d", got, m, l2set, slice)
 	}
 	return out, nil
 }
@@ -106,9 +124,9 @@ func ConflictSet(h *cache.Hierarchy, d cache.Domain, a *Allocator, slice, llcSet
 	if llcSet < 0 || llcSet >= geom.LLCSets {
 		return nil, fmt.Errorf("memsys: LLC set %d out of range [0,%d)", llcSet, geom.LLCSets)
 	}
-	var out []cache.Line
+	out := make([]cache.Line, 0, count)
 	for tries := 0; len(out) < count && tries < searchLimit; tries++ {
-		line := a.Reserve(1)[0]
+		line := a.ReserveOne()
 		if h.SliceOf(d, line) != slice || h.LLCSetOf(d, line) != llcSet {
 			continue
 		}

@@ -13,6 +13,13 @@
 // and a time-division-multiplexing mode models the interconnect
 // partitioning defence of §4.4 (SurfNoC-style scheduling), which removes
 // cross-domain contention at the price of a fixed slot latency.
+//
+// The accounting is index-addressed: every directed link of the floorplan
+// is enumerated once at construction and every (src, dst) route — link-ID
+// path and hop count — is precomputed, so the per-access hot path
+// (AddTraffic, ContentionCycles, Hops) walks dense slices and allocates
+// nothing. Per-quantum load lives in flat per-domain rows indexed by link
+// ID; BeginQuantum zeroes them in place instead of rebuilding maps.
 package mesh
 
 import (
@@ -80,8 +87,29 @@ type Mesh struct {
 	kind   Kind
 	params Params
 
-	// load is flits injected this quantum, per link per domain.
-	load map[Link]map[cache.Domain]float64
+	cols, rows, ntiles int
+
+	// links enumerates every directed router-to-router edge of the
+	// floorplan once; link IDs index the load rows below.
+	links []Link
+
+	// routeIDs/routeOff encode the precomputed link-ID path of every
+	// (srcTile, dstTile) pair: pair p's path is
+	// routeIDs[routeOff[p]:routeOff[p+1]]. hops caches each pair's
+	// routed hop count.
+	routeIDs []int32
+	routeOff []int32
+	hops     []int16
+
+	// load rows are flits injected this quantum per link, one dense row
+	// per security domain slot; total is the cross-domain sum per link
+	// (the non-TDM contention input). slotOf maps small non-negative
+	// domains to their row without hashing; negSlot is the fallback for
+	// exotic negative domain values.
+	load    [][]float64
+	total   []float64
+	slotOf  []int32
+	negSlot map[cache.Domain]int
 
 	// quantum capacity in flits, refreshed each BeginQuantum.
 	capacity float64
@@ -89,7 +117,9 @@ type Mesh struct {
 	// tdm enables time-division multiplexing between domains.
 	tdm bool
 
-	ringOrder map[topo.Coord]int
+	// ringOrder maps tile index to ring position; ringCoord inverts it.
+	ringOrder []int
+	ringCoord []topo.Coord
 
 	totalFlitHops float64
 }
@@ -100,10 +130,13 @@ func New(die *topo.Die, kind Kind, params Params) *Mesh {
 		die:    die,
 		kind:   kind,
 		params: params,
-		load:   make(map[Link]map[cache.Domain]float64),
+		cols:   die.Cols,
+		rows:   die.Rows,
+		ntiles: die.Cols * die.Rows,
 	}
 	if kind == KindRing {
-		m.ringOrder = make(map[topo.Coord]int)
+		m.ringOrder = make([]int, m.ntiles)
+		m.ringCoord = make([]topo.Coord, m.ntiles)
 		// Serpentine order over the grid approximates the physical
 		// ring stops.
 		i := 0
@@ -113,38 +146,89 @@ func New(die *topo.Die, kind Kind, params Params) *Mesh {
 				if r%2 == 1 {
 					col = die.Cols - 1 - c
 				}
-				m.ringOrder[topo.Coord{Col: col, Row: r}] = i
+				coord := topo.Coord{Col: col, Row: r}
+				m.ringOrder[m.tileIdx(coord)] = i
+				m.ringCoord[i] = coord
 				i++
 			}
 		}
 	}
+	m.enumerate()
+	m.total = make([]float64, len(m.links))
 	return m
 }
 
-// SetTDM switches time-division-multiplexed scheduling on or off.
-func (m *Mesh) SetTDM(on bool) { m.tdm = on }
+// tileIdx flattens an in-grid coordinate to a dense tile index.
+func (m *Mesh) tileIdx(c topo.Coord) int { return c.Row*m.cols + c.Col }
 
-// TDM reports whether time-multiplexed scheduling is active.
-func (m *Mesh) TDM() bool { return m.tdm }
-
-// BeginQuantum clears the per-quantum load accounting and recomputes link
-// capacity for the quantum length and current uncore frequency.
-func (m *Mesh) BeginQuantum(quantum sim.Time, fUncore sim.Freq) {
-	for k := range m.load {
-		delete(m.load, k)
-	}
-	m.capacity = fUncore.CyclesIn(quantum) * m.params.LinkFlitsPerCycle
-	m.totalFlitHops = 0
+// inGrid reports whether c lies on the floorplan. Coordinates off the die
+// take the uncached fallback paths, so the precomputed tables never see
+// them.
+func (m *Mesh) inGrid(c topo.Coord) bool {
+	return c.Col >= 0 && c.Col < m.cols && c.Row >= 0 && c.Row < m.rows
 }
 
-// Route returns the directed links from src to dst. The mesh uses Y-then-X
-// dimension-ordered routing (traffic moves vertically first, as on
-// Skylake-SP); the ring takes the shorter arc.
-func (m *Mesh) Route(src, dst topo.Coord) []Link {
-	if src == dst {
-		return nil
+// enumerate assigns every directed link an ID and precomputes the link-ID
+// route and hop count of every tile pair.
+func (m *Mesh) enumerate() {
+	idx := make(map[Link]int32, 4*m.ntiles)
+	addLink := func(from, to topo.Coord) {
+		l := Link{From: from, To: to}
+		if _, dup := idx[l]; dup {
+			return
+		}
+		idx[l] = int32(len(m.links))
+		m.links = append(m.links, l)
 	}
-	var links []Link
+	switch m.kind {
+	case KindMesh:
+		for r := 0; r < m.rows; r++ {
+			for c := 0; c < m.cols; c++ {
+				at := topo.Coord{Col: c, Row: r}
+				if c+1 < m.cols {
+					right := topo.Coord{Col: c + 1, Row: r}
+					addLink(at, right)
+					addLink(right, at)
+				}
+				if r+1 < m.rows {
+					down := topo.Coord{Col: c, Row: r + 1}
+					addLink(at, down)
+					addLink(down, at)
+				}
+			}
+		}
+	case KindRing:
+		for p := 0; p < m.ntiles; p++ {
+			next := (p + 1) % m.ntiles
+			addLink(m.ringCoord[p], m.ringCoord[next])
+			addLink(m.ringCoord[next], m.ringCoord[p])
+		}
+	}
+	m.routeOff = make([]int32, m.ntiles*m.ntiles+1)
+	m.hops = make([]int16, m.ntiles*m.ntiles)
+	for s := 0; s < m.ntiles; s++ {
+		src := topo.Coord{Col: s % m.cols, Row: s / m.cols}
+		for d := 0; d < m.ntiles; d++ {
+			dst := topo.Coord{Col: d % m.cols, Row: d / m.cols}
+			pair := s*m.ntiles + d
+			n := 0
+			m.walk(src, dst, func(l Link) {
+				m.routeIDs = append(m.routeIDs, idx[l])
+				n++
+			})
+			m.routeOff[pair+1] = int32(len(m.routeIDs))
+			m.hops[pair] = int16(n)
+		}
+	}
+}
+
+// walk visits the directed links from src to dst in route order. The mesh
+// uses Y-then-X dimension-ordered routing (traffic moves vertically first,
+// as on Skylake-SP); the ring takes the shorter arc.
+func (m *Mesh) walk(src, dst topo.Coord, visit func(Link)) {
+	if src == dst {
+		return
+	}
 	switch m.kind {
 	case KindMesh:
 		cur := src
@@ -155,7 +239,7 @@ func (m *Mesh) Route(src, dst topo.Coord) []Link {
 			} else {
 				next.Row--
 			}
-			links = append(links, Link{From: cur, To: next})
+			visit(Link{From: cur, To: next})
 			cur = next
 		}
 		for cur.Col != dst.Col {
@@ -165,12 +249,15 @@ func (m *Mesh) Route(src, dst topo.Coord) []Link {
 			} else {
 				next.Col--
 			}
-			links = append(links, Link{From: cur, To: next})
+			visit(Link{From: cur, To: next})
 			cur = next
 		}
 	case KindRing:
-		n := m.die.Rows * m.die.Cols
-		a, b := m.ringOrder[src], m.ringOrder[dst]
+		if !m.inGrid(src) || !m.inGrid(dst) {
+			return // the ring has stops only at floorplan tiles
+		}
+		n := m.ntiles
+		a, b := m.ringOrder[m.tileIdx(src)], m.ringOrder[m.tileIdx(dst)]
 		fwd := (b - a + n) % n
 		step := 1
 		if fwd > n-fwd {
@@ -179,24 +266,106 @@ func (m *Mesh) Route(src, dst topo.Coord) []Link {
 		cur := a
 		for cur != b {
 			next := (cur + step) % n
-			links = append(links, Link{From: m.coordAt(cur), To: m.coordAt(next)})
+			visit(Link{From: m.ringCoord[cur], To: m.ringCoord[next]})
 			cur = next
 		}
 	}
-	return links
 }
 
-func (m *Mesh) coordAt(order int) topo.Coord {
-	for c, i := range m.ringOrder {
-		if i == order {
-			return c
+// pairRoute returns the precomputed link-ID path for an in-grid pair.
+func (m *Mesh) pairRoute(src, dst topo.Coord) []int32 {
+	pair := m.tileIdx(src)*m.ntiles + m.tileIdx(dst)
+	return m.routeIDs[m.routeOff[pair]:m.routeOff[pair+1]]
+}
+
+// slot returns domain d's dense row index, registering the domain (and
+// growing its load row) on first sight. Small non-negative domains — every
+// domain the experiments use — resolve through a flat slice lookup.
+func (m *Mesh) slot(d cache.Domain) int {
+	if d >= 0 && int(d) < len(m.slotOf) {
+		if s := m.slotOf[d]; s >= 0 {
+			return int(s)
 		}
 	}
-	panic(fmt.Sprintf("mesh: no tile at ring position %d", order))
+	return m.addSlot(d)
+}
+
+func (m *Mesh) addSlot(d cache.Domain) int {
+	if d < 0 {
+		if s, ok := m.negSlot[d]; ok {
+			return s
+		}
+		if m.negSlot == nil {
+			m.negSlot = make(map[cache.Domain]int)
+		}
+		s := len(m.load)
+		m.negSlot[d] = s
+		m.load = append(m.load, make([]float64, len(m.links)))
+		return s
+	}
+	for int(d) >= len(m.slotOf) {
+		m.slotOf = append(m.slotOf, -1)
+	}
+	s := len(m.load)
+	m.slotOf[d] = int32(s)
+	m.load = append(m.load, make([]float64, len(m.links)))
+	return s
+}
+
+// SetTDM switches time-division-multiplexed scheduling on or off.
+func (m *Mesh) SetTDM(on bool) { m.tdm = on }
+
+// TDM reports whether time-multiplexed scheduling is active.
+func (m *Mesh) TDM() bool { return m.tdm }
+
+// BeginQuantum clears the per-quantum load accounting in place and
+// recomputes link capacity for the quantum length and current uncore
+// frequency. No allocation: the dense rows are zeroed, not rebuilt.
+func (m *Mesh) BeginQuantum(quantum sim.Time, fUncore sim.Freq) {
+	for _, row := range m.load {
+		clear(row)
+	}
+	clear(m.total)
+	m.capacity = fUncore.CyclesIn(quantum) * m.params.LinkFlitsPerCycle
+	m.totalFlitHops = 0
+}
+
+// Route returns the directed links from src to dst, in route order. It
+// materialises a fresh slice and is meant for inspection and tests; the
+// hot paths (AddTraffic, ContentionCycles, Hops) use the precomputed
+// link-ID tables directly and never call it.
+func (m *Mesh) Route(src, dst topo.Coord) []Link {
+	if src == dst {
+		return nil
+	}
+	if m.inGrid(src) && m.inGrid(dst) {
+		ids := m.pairRoute(src, dst)
+		if len(ids) == 0 {
+			return nil
+		}
+		out := make([]Link, len(ids))
+		for i, id := range ids {
+			out[i] = m.links[id]
+		}
+		return out
+	}
+	var out []Link
+	m.walk(src, dst, func(l Link) { out = append(out, l) })
+	return out
 }
 
 // Hops returns the routed hop count between two tiles.
-func (m *Mesh) Hops(src, dst topo.Coord) int { return len(m.Route(src, dst)) }
+func (m *Mesh) Hops(src, dst topo.Coord) int {
+	if src == dst {
+		return 0
+	}
+	if m.inGrid(src) && m.inGrid(dst) {
+		return int(m.hops[m.tileIdx(src)*m.ntiles+m.tileIdx(dst)])
+	}
+	n := 0
+	m.walk(src, dst, func(Link) { n++ })
+	return n
+}
 
 // AddTraffic records accesses LLC transactions flowing between src and dst
 // this quantum on behalf of domain d. Both directions are loaded (request
@@ -206,16 +375,23 @@ func (m *Mesh) AddTraffic(d cache.Domain, src, dst topo.Coord, accesses float64)
 		return
 	}
 	flits := accesses * m.params.FlitsPerAccess
-	for _, dir := range [2][2]topo.Coord{{src, dst}, {dst, src}} {
-		for _, l := range m.Route(dir[0], dir[1]) {
-			byDomain := m.load[l]
-			if byDomain == nil {
-				byDomain = make(map[cache.Domain]float64)
-				m.load[l] = byDomain
+	row := m.load[m.slot(d)]
+	if m.inGrid(src) && m.inGrid(dst) {
+		for _, ids := range [2][]int32{m.pairRoute(src, dst), m.pairRoute(dst, src)} {
+			for _, id := range ids {
+				row[id] += flits
+				m.total[id] += flits
+				m.totalFlitHops += flits
 			}
-			byDomain[d] += flits
-			m.totalFlitHops += flits
 		}
+		return
+	}
+	for _, dir := range [2][2]topo.Coord{{src, dst}, {dst, src}} {
+		m.walk(dir[0], dir[1], func(Link) {
+			// Off-grid coordinates have no enumerated links; only the
+			// aggregate volume is visible to the governor.
+			m.totalFlitHops += flits
+		})
 	}
 }
 
@@ -224,26 +400,26 @@ func (m *Mesh) AddTraffic(d cache.Domain, src, dst topo.Coord, accesses float64)
 // Under TDM, other domains' load is invisible (their slots are disjoint)
 // but every crossed link costs a fixed slot-wait.
 func (m *Mesh) ContentionCycles(d cache.Domain, src, dst topo.Coord) float64 {
-	if src == dst {
+	if src == dst || !m.inGrid(src) || !m.inGrid(dst) {
 		return 0
 	}
-	route := m.Route(src, dst)
+	ids := m.pairRoute(src, dst)
 	var extra float64
-	for _, l := range route {
+	var row []float64
+	if m.tdm {
+		row = m.load[m.slot(d)]
+	}
+	for _, id := range ids {
+		var flits float64
 		if m.tdm {
 			extra += m.params.TDMSlotCycles
 			// Same-domain queueing still applies below.
+			flits = row[id]
+		} else {
+			flits = m.total[id]
 		}
-		byDomain := m.load[l]
-		if byDomain == nil || m.capacity <= 0 {
+		if flits == 0 || m.capacity <= 0 {
 			continue
-		}
-		var flits float64
-		for dom, f := range byDomain {
-			if m.tdm && dom != d {
-				continue
-			}
-			flits += f
 		}
 		util := flits / m.capacity
 		if util > m.params.ContentionThreshold {

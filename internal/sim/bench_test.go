@@ -1,0 +1,28 @@
+package sim_test
+
+// Benchmark for the engine dispatch loop. The heap scheduler's contract
+// is zero allocations per tick in steady state; scripts/bench.sh gates on
+// it.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkEngineDispatch times one engine instant with a realistic
+// ticker population: many same-period tickers (threads) plus a slower
+// one (the governor epoch), mirroring the machine's schedule.
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := sim.NewEngine()
+	period := 200 * sim.Microsecond
+	for i := 0; i < 16; i++ {
+		e.Add(&sim.Ticker{Name: "thread", Period: period, Priority: 0, Fn: func(sim.Time) {}})
+	}
+	e.Add(&sim.Ticker{Name: "epoch", Period: 50 * period, Priority: 10, Fn: func(sim.Time) {}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(period)
+	}
+}

@@ -4,13 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Ticker is a periodic callback registered with an Engine. Fn is invoked
 // with the virtual time of the tick; ticks are strictly ordered, and tickers
-// that collide on the same instant fire in registration order (after
-// sorting by priority).
+// that collide on the same instant fire in priority order, then in
+// registration order.
 type Ticker struct {
 	// Name identifies the ticker in diagnostics.
 	Name string
@@ -25,7 +24,11 @@ type Ticker struct {
 	// Fn is the tick body. now is the tick instant.
 	Fn func(now Time)
 
+	// next is the ticker's pending deadline; seq is its registration
+	// order, the tie-breaker that keeps same-priority cohorts firing in
+	// Add order (the contract the old sorted-slice dispatcher gave).
 	next Time
+	seq  uint64
 }
 
 // ErrBudgetExceeded is returned (wrapped in a *BudgetError) by RunContext
@@ -77,17 +80,24 @@ func AbortCause(r any) (error, bool) {
 const ctxCheckEvery = 64
 
 // Engine drives virtual time forward through a set of periodic tickers.
-// It is intentionally minimal: the simulator has a small, fixed set of
-// rates (workload quantum, governor epoch, trace samplers), so a full event
-// queue would be overkill and harder to keep deterministic.
+// Tickers live in an indexed min-heap ordered by (deadline, priority,
+// registration order): finding the next instant is O(1) and dispatching a
+// same-instant cohort pops only the tickers due, instead of re-walking the
+// whole set per instant. The dispatch loop allocates nothing in steady
+// state — the heap and the cohort scratch are reused across instants.
 type Engine struct {
-	now     Time
-	tickers []*Ticker
+	now Time
+
+	// heap is the deadline min-heap; cohort is the reused scratch that
+	// holds the tickers popped for the instant being dispatched.
+	heap   []*Ticker
+	cohort []*Ticker
+	seq    uint64
 
 	// firing marks that the engine is inside one instant's dispatch
 	// loop; Add defers insertions to pending until the instant
-	// completes so the priority re-sort cannot shuffle the slice the
-	// dispatch loop is iterating.
+	// completes so a mid-dispatch registration cannot join (or reorder)
+	// the cohort being fired.
 	firing  bool
 	pending []*Ticker
 
@@ -133,18 +143,72 @@ func (e *Engine) Add(t *Ticker) {
 		panic(fmt.Sprintf("sim: ticker %q has non-positive period %v", t.Name, t.Period))
 	}
 	t.next = e.now + t.Phase + t.Period
+	t.seq = e.seq
+	e.seq++
 	if e.firing {
 		e.pending = append(e.pending, t)
 		return
 	}
-	e.insert(t)
+	e.push(t)
 }
 
-func (e *Engine) insert(t *Ticker) {
-	e.tickers = append(e.tickers, t)
-	sort.SliceStable(e.tickers, func(i, j int) bool {
-		return e.tickers[i].Priority < e.tickers[j].Priority
-	})
+// before orders the heap: earliest deadline first, ties broken by
+// priority then registration order — exactly the firing order of the old
+// priority-sorted linear dispatcher.
+func before(a, b *Ticker) bool {
+	if a.next != b.next {
+		return a.next < b.next
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+// push inserts t into the deadline heap.
+func (e *Engine) push(t *Ticker) {
+	e.heap = append(e.heap, t)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the heap minimum; the heap must be non-empty.
+func (e *Engine) pop() *Ticker {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	e.heap = h[:last]
+	e.siftDown(0)
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && before(h[right], h[left]) {
+			min = right
+		}
+		if !before(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // Run advances virtual time by d, firing every tick that falls in the
@@ -152,11 +216,26 @@ func (e *Engine) insert(t *Ticker) {
 // order. If the engine has a bound context that is cancelled mid-run, or
 // the step budget trips, Run panics with an Abort (see Bind).
 func (e *Engine) Run(d Time) {
+	if d < 0 {
+		panic("sim: cannot run the engine backwards")
+	}
+	e.RunUntil(e.now + d)
+}
+
+// RunUntil advances virtual time to the absolute instant t, firing every
+// tick in (now, t]. It is Run addressed by deadline instead of span — the
+// fast path for callers that resume a simulation toward a known instant
+// without recomputing deltas. Like Run it panics with an Abort when the
+// bound context is cancelled or the budget trips.
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic("sim: cannot run the engine backwards")
+	}
 	ctx := e.ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := e.RunContext(ctx, d); err != nil {
+	if err := e.runUntil(ctx, t); err != nil {
 		panic(Abort{Err: err})
 	}
 }
@@ -171,45 +250,48 @@ func (e *Engine) RunContext(ctx context.Context, d Time) error {
 	if d < 0 {
 		panic("sim: cannot run the engine backwards")
 	}
+	return e.runUntil(ctx, e.now+d)
+}
+
+// runUntil is the dispatch loop shared by Run, RunUntil, and RunContext.
+// Each iteration reads the earliest deadline off the heap top, pops the
+// same-instant cohort (already in priority order — no sorting, no scan of
+// unrelated tickers), fires it, and re-pushes the advanced tickers.
+func (e *Engine) runUntil(ctx context.Context, end Time) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	end := e.now + d
 	sinceCheck := 0
-	for {
-		// Find the earliest pending tick within the window.
-		var nxt *Ticker
-		for _, t := range e.tickers {
-			if t.next > end {
-				continue
-			}
-			if nxt == nil || t.next < nxt.next {
-				nxt = t
-			}
-		}
-		if nxt == nil {
-			break
-		}
-		at := nxt.next
+	for len(e.heap) > 0 && e.heap[0].next <= end {
+		at := e.heap[0].next
 		e.now = at
-		// Fire every ticker scheduled for this instant, in priority
-		// order (tickers are kept priority-sorted). Additions made by a
-		// Fn are deferred to pending so the re-sort in insert cannot
-		// reorder this slice mid-iteration.
+		// Pop every ticker scheduled for this instant. Heap order hands
+		// them over sorted by (priority, registration), so the cohort
+		// fires in exactly the order the old sorted-slice walk produced.
+		cohort := e.cohort[:0]
+		for len(e.heap) > 0 && e.heap[0].next == at {
+			cohort = append(cohort, e.pop())
+		}
 		e.firing = true
-		for _, t := range e.tickers {
-			if t.next == at {
-				t.Fn(at)
-				t.next = at + t.Period
-				e.steps++
-				sinceCheck++
-			}
+		for _, t := range cohort {
+			t.Fn(at)
+			t.next = at + t.Period
+			e.steps++
+			sinceCheck++
 		}
 		e.firing = false
-		for _, t := range e.pending {
-			e.insert(t)
+		for i, t := range cohort {
+			e.push(t)
+			cohort[i] = nil
 		}
-		e.pending = e.pending[:0]
+		e.cohort = cohort[:0]
+		if len(e.pending) > 0 {
+			for i, t := range e.pending {
+				e.push(t)
+				e.pending[i] = nil
+			}
+			e.pending = e.pending[:0]
+		}
 		if e.budget > 0 && e.steps >= e.budget {
 			return &BudgetError{Steps: e.steps, Budget: e.budget, Now: e.now}
 		}

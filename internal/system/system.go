@@ -131,6 +131,14 @@ type Socket struct {
 
 	// quantumPower is the current draw registered so far this quantum.
 	quantumPower float64
+
+	// busy is the per-quantum active-core scratch, indexed by core ID and
+	// cleared at the top of every quantum; peerFreqs is the reused backing
+	// array for EpochStats.PeerFreqs (the governor only reads it during
+	// Tick). Both exist so the per-quantum and per-epoch paths allocate
+	// nothing in steady state.
+	busy      []bool
+	peerFreqs []sim.Freq
 }
 
 // QuantumPower returns the power units drawn on the socket's voltage
@@ -204,6 +212,8 @@ func New(cfg Config) *Machine {
 			s.Cores = append(s.Cores, core)
 			s.coreCaches = append(s.coreCaches, s.Hier.NewCore())
 		}
+		s.busy = make([]bool, len(s.Cores))
+		s.peerFreqs = make([]sim.Freq, 0, len(cfg.Dies)-1)
 		m.sockets = append(m.sockets, s)
 	}
 	// The per-quantum workload step runs before anything else at a
@@ -274,6 +284,10 @@ type Thread struct {
 	w       Workload
 	drift   timing.Drift
 	stopped bool
+
+	// ctx is the thread's reusable quantum context, reset at the top of
+	// every quantum; it is valid only for the duration of Step.
+	ctx Ctx
 }
 
 // SetWorkload replaces the thread's program (e.g. the nop→stalling switch
@@ -360,17 +374,20 @@ func (m *Machine) stepQuantum(now sim.Time) {
 		s.quantumPower = 0
 	}
 	tail := m.inTail(now)
-	busy := make(map[*cpu.Core]bool)
+	for _, s := range m.sockets {
+		clear(s.busy)
+	}
 	for _, t := range m.threads {
 		if t.stopped || t.w == nil {
 			continue
 		}
-		ctx := &Ctx{
+		t.ctx = Ctx{
 			m:       m,
 			t:       t,
 			start:   now - m.cfg.Quantum,
 			quantum: m.cfg.Quantum,
 		}
+		ctx := &t.ctx
 		if m.faults != nil {
 			if gap := m.faults.PreemptGap(t.Name, now); gap > 0 {
 				if gap > m.cfg.Quantum {
@@ -384,7 +401,7 @@ func (m *Machine) stepQuantum(now sim.Time) {
 		act := t.w.Step(ctx)
 		act.Add(ctx.acc)
 		if act.Active {
-			busy[t.Core] = true
+			t.Sock.busy[t.Core.ID] = true
 			t.Core.RecordActive(m.cfg.Quantum, cpu.Counters{
 				Cycles:      act.Cycles,
 				StallCycles: act.StallCycles,
@@ -398,8 +415,8 @@ func (m *Machine) stepQuantum(now sim.Time) {
 		t.Sock.quantumPower += act.PowerUnits
 	}
 	for _, s := range m.sockets {
-		for _, c := range s.Cores {
-			if !busy[c] {
+		for i, c := range s.Cores {
+			if !s.busy[i] {
 				c.RecordIdle(m.cfg.Quantum)
 			}
 		}
@@ -454,12 +471,14 @@ func (m *Machine) stepEpoch(now sim.Time) {
 			}
 			c.ResetEpoch()
 		}
+		st.PeerFreqs = s.peerFreqs[:0]
 		for _, o := range m.sockets {
 			if o != s {
 				st.PeerFreqs = append(st.PeerFreqs, o.Gov.Current())
 			}
 		}
 		s.Gov.Tick(st)
+		s.peerFreqs = st.PeerFreqs[:0]
 		s.epochLLC, s.epochPressure = 0, 0
 	}
 }

@@ -188,6 +188,10 @@ type Governor struct {
 	pc         PCState
 	epochs     uint64
 	held       uint64
+
+	// statScratch is where Tick copies its argument so the fault hook's
+	// pointer never forces a per-epoch heap escape of the stats.
+	statScratch EpochStats
 }
 
 // NewGovernor returns a governor at the idle operating point, constrained
@@ -253,7 +257,9 @@ func ladder(steps []Step, v float64) sim.Freq {
 // clock ticks into the MSR counter, derives the new target from stats, and
 // moves the operating point one step (or holds). It returns the new
 // frequency.
-func (g *Governor) Tick(stats EpochStats) sim.Freq {
+func (g *Governor) Tick(epochStats EpochStats) sim.Freq {
+	g.statScratch = epochStats
+	stats := &g.statScratch
 	// The UCLK fixed counter ran at the old frequency for the epoch
 	// that just ended.
 	g.file.TickUclk(g.cur, g.params.Epoch)
@@ -272,7 +278,7 @@ func (g *Governor) Tick(stats EpochStats) sim.Freq {
 	// Injected decision faults: a held epoch keeps the operating point
 	// (the C-state bookkeeping above is hardware, not a decision, and
 	// still happened).
-	if g.fault != nil && g.fault(&stats) {
+	if g.fault != nil && g.fault(stats) {
 		g.held++
 		return g.cur
 	}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Benchmark-regression harness: runs the per-package micro-benchmarks and
+# the experiment benchmark suite via `go test -bench -benchmem`, then the
+# binary-side registry via `ufsim bench`, folding both into one normalized
+# BENCH_<date>.json. Exits non-zero when a tagged zero-allocation case
+# allocates — the regression CI gates on.
+#
+# Usage:
+#   scripts/bench.sh           full run: whole bench_test.go suite + quick trials
+#   scripts/bench.sh -short    hot-path cases only (seconds, for CI)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench"
+if [ -n "$short" ]; then
+    # CI shape: only the hot-path micro-benchmarks, briefly.
+    go test -run '^$' -bench . -benchmem -benchtime 100ms \
+        ./internal/sim/ ./internal/mesh/ ./internal/cache/ | tee "$raw"
+else
+    # Full shape: every benchmark in the repo, including the
+    # per-figure experiment suite at the root.
+    go test -run '^$' -bench . -benchmem -timeout 45m ./... | tee "$raw"
+fi
+
+echo "== ufsim bench"
+go run ./cmd/ufsim bench $short -merge "$raw"
