@@ -277,16 +277,19 @@ func benchMachineEpoch(b *testing.B) {
 }
 
 // benchTrial runs one quick experiment trial per iteration; trials/sec
-// over these cases is the harness's headline throughput number.
+// over these cases is the harness's headline throughput number. Trials
+// share a machine pool, as the runner's sweep workers do, so the numbers
+// reflect the steady state of a long sweep rather than cold-start builds.
 func benchTrial(b *testing.B, id string) {
 	e, ok := experiments.Get(id)
 	if !ok {
 		b.Fatalf("experiment %q not registered", id)
 	}
+	pool := &system.Pool{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(experiments.Options{Seed: 0x5eed + uint64(i), Quick: true}); err != nil {
+		if _, err := e.Run(experiments.Options{Seed: 0x5eed + uint64(i), Quick: true, Machines: pool}); err != nil {
 			b.Fatal(err)
 		}
 	}

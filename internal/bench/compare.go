@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Default regression tolerances for Compare, shared by the CLI and CI:
+// time is noisy across runners, so ns/op gets more headroom than
+// bytes/op, which is deterministic for a deterministic simulator.
+const (
+	DefaultNsTolerancePct    = 15
+	DefaultBytesTolerancePct = 10
+)
+
+// Delta is one case's baseline→current movement.
+type Delta struct {
+	Name      string  `json:"name"`
+	BaseNs    float64 `json:"base_ns_per_op"`
+	CurNs     float64 `json:"cur_ns_per_op"`
+	NsPct     float64 `json:"ns_pct"`
+	BaseBytes int64   `json:"base_bytes_per_op"`
+	CurBytes  int64   `json:"cur_bytes_per_op"`
+	BytesPct  float64 `json:"bytes_pct"`
+	// Gated marks registry cases (Source "bench" on both sides), the
+	// stable-named set the regression thresholds apply to; merged
+	// `go test -bench` rows are reported but never fail a compare.
+	Gated bool `json:"gated,omitempty"`
+	// Regressed lists the threshold violations, empty when clean.
+	Regressed []string `json:"regressed,omitempty"`
+}
+
+// CompareReport is the bench-compare delta artifact.
+type CompareReport struct {
+	BaseDate          string  `json:"base_date"`
+	CurDate           string  `json:"cur_date"`
+	NsTolerancePct    float64 `json:"ns_tolerance_pct"`
+	BytesTolerancePct float64 `json:"bytes_tolerance_pct"`
+	Deltas            []Delta `json:"deltas"`
+	// MissingInCurrent lists gated baseline cases the current run lost —
+	// a silently dropped benchmark must not pass the gate.
+	MissingInCurrent []string `json:"missing_in_current,omitempty"`
+	NewInCurrent     []string `json:"new_in_current,omitempty"`
+}
+
+// Regressions flattens every violation into "case: detail" strings.
+func (r CompareReport) Regressions() []string {
+	var out []string
+	for _, d := range r.Deltas {
+		for _, v := range d.Regressed {
+			out = append(out, d.Name+": "+v)
+		}
+	}
+	for _, name := range r.MissingInCurrent {
+		out = append(out, name+": gated case missing from current run")
+	}
+	return out
+}
+
+// Compare diffs a current report against a baseline. Gated cases fail
+// on ns/op above nsTolPct or bytes/op above bytesTolPct over baseline;
+// pass 0 to use the defaults. Improvements never fail, and cases only
+// present on one side are listed rather than gated — except gated
+// baseline cases missing from a non-short current run, which count as
+// regressions (a deleted benchmark is not a passing one). A short
+// current run legitimately omits the long trial cases.
+func Compare(base, cur Report, nsTolPct, bytesTolPct float64) CompareReport {
+	if nsTolPct <= 0 {
+		nsTolPct = DefaultNsTolerancePct
+	}
+	if bytesTolPct <= 0 {
+		bytesTolPct = DefaultBytesTolerancePct
+	}
+	rep := CompareReport{
+		BaseDate:          base.Date,
+		CurDate:           cur.Date,
+		NsTolerancePct:    nsTolPct,
+		BytesTolerancePct: bytesTolPct,
+	}
+
+	registry := map[string]bool{}
+	for _, c := range Cases() {
+		registry[c.Name] = true
+	}
+	long := map[string]bool{}
+	for _, c := range Cases() {
+		if c.Long {
+			long[c.Name] = true
+		}
+	}
+
+	curByName := map[string]Result{}
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, b := range base.Results {
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			if registry[b.Name] && b.Source == "bench" && !(cur.Short && long[b.Name]) {
+				rep.MissingInCurrent = append(rep.MissingInCurrent, b.Name)
+			}
+			continue
+		}
+		d := Delta{
+			Name:      b.Name,
+			BaseNs:    b.NsPerOp,
+			CurNs:     c.NsPerOp,
+			NsPct:     pctChange(b.NsPerOp, c.NsPerOp),
+			BaseBytes: b.BytesPerOp,
+			CurBytes:  c.BytesPerOp,
+			BytesPct:  pctChange(float64(b.BytesPerOp), float64(c.BytesPerOp)),
+			Gated:     registry[b.Name] && b.Source == "bench" && c.Source == "bench",
+		}
+		if d.Gated {
+			if d.NsPct > nsTolPct {
+				d.Regressed = append(d.Regressed,
+					fmt.Sprintf("ns/op %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)", d.NsPct, d.BaseNs, d.CurNs, nsTolPct))
+			}
+			if d.BaseBytes == 0 && d.CurBytes > 0 {
+				d.Regressed = append(d.Regressed,
+					fmt.Sprintf("bytes/op 0 -> %d (was allocation-free)", d.CurBytes))
+			} else if d.BytesPct > bytesTolPct {
+				d.Regressed = append(d.Regressed,
+					fmt.Sprintf("bytes/op %+.1f%% (%d -> %d, tolerance %.0f%%)", d.BytesPct, d.BaseBytes, d.CurBytes, bytesTolPct))
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, c := range cur.Results {
+		if !seen[c.Name] {
+			rep.NewInCurrent = append(rep.NewInCurrent, c.Name)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
+	sort.Strings(rep.MissingInCurrent)
+	sort.Strings(rep.NewInCurrent)
+	return rep
+}
+
+// pctChange returns the percent change from base to cur; a zero base
+// with a nonzero cur has no finite percentage and reports 0 (the
+// zero-base allocation case is gated separately in Compare).
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// Render writes the human-readable delta table.
+func (r CompareReport) Render(w io.Writer) error {
+	fmt.Fprintf(w, "bench compare: %s -> %s (tolerances: ns/op %.0f%%, bytes/op %.0f%%)\n",
+		r.BaseDate, r.CurDate, r.NsTolerancePct, r.BytesTolerancePct)
+	fmt.Fprintln(w, "case\tns/op\tbytes/op\tgated\tverdict")
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		if len(d.Regressed) > 0 {
+			verdict = "REGRESSED"
+		}
+		gated := "-"
+		if d.Gated {
+			gated = "gate"
+		}
+		fmt.Fprintf(w, "%s\t%+.1f%%\t%+.1f%%\t%s\t%s\n", d.Name, d.NsPct, d.BytesPct, gated, verdict)
+		for _, v := range d.Regressed {
+			fmt.Fprintf(w, "  ! %s\n", v)
+		}
+	}
+	for _, name := range r.MissingInCurrent {
+		fmt.Fprintf(w, "! %s: gated case missing from current run\n", name)
+	}
+	for _, name := range r.NewInCurrent {
+		fmt.Fprintf(w, "+ %s: new in current run\n", name)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	return Report{Date: "2026-01-01", Results: results}
+}
+
+func TestCompareCleanAndRegressed(t *testing.T) {
+	base := report(
+		Result{Name: "machine-quantum", NsPerOp: 1000, BytesPerOp: 0, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1e9, BytesPerOp: 100 << 20, Source: "bench"},
+		Result{Name: "BenchmarkSomething", NsPerOp: 50, Source: "go test"},
+	)
+
+	// Within tolerance: +10% ns on a 15% gate, bytes improved.
+	cur := report(
+		Result{Name: "machine-quantum", NsPerOp: 1100, BytesPerOp: 0, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1.05e9, BytesPerOp: 20 << 20, Source: "bench"},
+		Result{Name: "BenchmarkSomething", NsPerOp: 500, Source: "go test"},
+	)
+	if regs := Compare(base, cur, 15, 10).Regressions(); len(regs) != 0 {
+		t.Errorf("clean compare reported regressions: %v", regs)
+	}
+
+	// ns/op blown on one gated case; the un-gated go-test row may
+	// regress arbitrarily without failing the gate.
+	cur = report(
+		Result{Name: "machine-quantum", NsPerOp: 1200, BytesPerOp: 0, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1e9, BytesPerOp: 100 << 20, Source: "bench"},
+	)
+	regs := Compare(base, cur, 15, 10).Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "machine-quantum") || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("ns regression not caught: %v", regs)
+	}
+
+	// bytes/op blown: +20% on a 10% gate.
+	cur = report(
+		Result{Name: "machine-quantum", NsPerOp: 1000, BytesPerOp: 0, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1e9, BytesPerOp: 120 << 20, Source: "bench"},
+	)
+	regs = Compare(base, cur, 15, 10).Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "trial-sync-quick") || !strings.Contains(regs[0], "bytes/op") {
+		t.Errorf("bytes regression not caught: %v", regs)
+	}
+
+	// A formerly allocation-free case that now allocates has no finite
+	// percentage but must still fail.
+	cur = report(
+		Result{Name: "machine-quantum", NsPerOp: 1000, BytesPerOp: 64, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1e9, BytesPerOp: 100 << 20, Source: "bench"},
+	)
+	regs = Compare(base, cur, 15, 10).Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocation-free") {
+		t.Errorf("zero-base allocation regression not caught: %v", regs)
+	}
+}
+
+func TestCompareMissingAndShortRuns(t *testing.T) {
+	base := report(
+		Result{Name: "machine-quantum", NsPerOp: 1000, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1e9, BytesPerOp: 100 << 20, Source: "bench"},
+	)
+
+	// A full current run that silently dropped a gated case fails.
+	cur := report(Result{Name: "machine-quantum", NsPerOp: 1000, Source: "bench"})
+	if regs := Compare(base, cur, 15, 10).Regressions(); len(regs) != 1 || !strings.Contains(regs[0], "trial-sync-quick") {
+		t.Errorf("dropped gated case not caught: %v", regs)
+	}
+
+	// A -short current run legitimately omits the Long trial cases.
+	cur.Short = true
+	if regs := Compare(base, cur, 15, 10).Regressions(); len(regs) != 0 {
+		t.Errorf("short run penalised for skipping long cases: %v", regs)
+	}
+
+	// New cases are reported, not gated.
+	cur = report(
+		Result{Name: "machine-quantum", NsPerOp: 1000, Source: "bench"},
+		Result{Name: "trial-sync-quick", NsPerOp: 1e9, BytesPerOp: 100 << 20, Source: "bench"},
+		Result{Name: "brand-new-case", NsPerOp: 5, Source: "bench"},
+	)
+	rep := Compare(base, cur, 15, 10)
+	if len(rep.Regressions()) != 0 {
+		t.Errorf("new case treated as regression: %v", rep.Regressions())
+	}
+	if len(rep.NewInCurrent) != 1 || rep.NewInCurrent[0] != "brand-new-case" {
+		t.Errorf("NewInCurrent = %v", rep.NewInCurrent)
+	}
+}
+
+func TestCompareDefaultsAndRender(t *testing.T) {
+	base := report(Result{Name: "machine-quantum", NsPerOp: 1000, Source: "bench"})
+	cur := report(Result{Name: "machine-quantum", NsPerOp: 1140, Source: "bench"})
+	// +14% passes the default 15% ns tolerance (0 selects defaults).
+	rep := Compare(base, cur, 0, 0)
+	if rep.NsTolerancePct != DefaultNsTolerancePct || rep.BytesTolerancePct != DefaultBytesTolerancePct {
+		t.Errorf("defaults not applied: %+v", rep)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("+14%% failed the default 15%% gate: %v", regs)
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "machine-quantum") || !strings.Contains(sb.String(), "ok") {
+		t.Errorf("render output missing expected rows:\n%s", sb.String())
+	}
+}

@@ -250,6 +250,28 @@ func (h *Hierarchy) Stats() (inserts, evictions uint64) {
 	return h.llcInserts, h.llcEvictions
 }
 
+// Reset returns the hierarchy and every attached core cache to cold
+// state in place: all arrays invalidated with LRU stamps rewound, every
+// defence (domain hashes, index function, way ranges) removed, watchers
+// dropped, and the insert/eviction statistics zeroed. The set of attached
+// cores is preserved — a reset hierarchy is the one NewHierarchy+NewCore
+// built, not an empty one.
+func (h *Hierarchy) Reset() {
+	for _, s := range h.slices {
+		s.Reset()
+	}
+	for _, cc := range h.cores {
+		cc.l1.Reset()
+		cc.l2.Reset()
+	}
+	clear(h.domainHash)
+	h.index = LowBitsIndex
+	clear(h.ways)
+	h.watchers = h.watchers[:0]
+	h.flushSeen = h.flushSeen[:0]
+	h.llcInserts, h.llcEvictions = 0, 0
+}
+
 // Flush invalidates line everywhere: every core's L1 and L2, and the LLC
 // under every registered domain mapping. It reports whether the line was
 // present anywhere, which is the timing signal Flush+Flush decodes.

@@ -171,3 +171,11 @@ func (c *SetAssoc) Flush() {
 		c.arr[i].valid = false
 	}
 }
+
+// Reset returns the array to its just-constructed state: every way
+// invalid and the LRU stamp rewound to zero, so replacement decisions
+// after a reset replay those of a fresh cache bit for bit.
+func (c *SetAssoc) Reset() {
+	clear(c.arr)
+	c.stamp = 0
+}

@@ -41,11 +41,27 @@ type Acquisition struct {
 
 // stream is a latency sample stream prepared for O(log n) window means:
 // samples sorted by timestamp with non-finite latencies dropped, plus
-// prefix sums.
+// prefix sums. It supports two lifecycles:
+//
+//   - batch: newStream builds it from a complete sample slice (the
+//     public Acquire entry point and the fuzzer);
+//   - streaming: push appends samples as they are measured and retire
+//     drops samples older than any window a consumer will still read,
+//     keeping the live region — and therefore the receiver's memory —
+//     bounded by the demodulator's look-behind instead of the message
+//     length.
+//
+// The prefix sums are absolute: sum[i+1] extends sum[i] by exactly one
+// left-to-right addition, whether the sample arrived in a batch or one
+// push at a time, and retirement only moves the head index (compaction
+// copies the absolute values down unchanged). A window mean is always
+// (sum[hi]−sum[lo])/(hi−lo) over the very same floats the batch build
+// would have produced, so streaming decode is bit-identical to batch.
 type stream struct {
-	at  []sim.Time
-	sum []float64 // sum[i] = Σ lat[0..i)
-	cnt []int
+	at   []sim.Time
+	lat  []float64 // raw latencies; kept so inserts can re-extend sums
+	sum  []float64 // sum[i+1] = sum[i] + lat[i]; len(at)+1 entries
+	head int       // index of the first live sample; [0,head) retired
 }
 
 // newStream builds a stream from samples. Out-of-order input (which a
@@ -58,10 +74,11 @@ func newStream(samples []Sample) *stream {
 			continue
 		}
 		s.at = append(s.at, sm.At)
+		s.lat = append(s.lat, sm.Lat)
 	}
 	sorted := sort.SliceIsSorted(s.at, func(i, j int) bool { return s.at[i] < s.at[j] })
 	if !sorted {
-		s.at = s.at[:0]
+		s.at, s.lat = s.at[:0], s.lat[:0]
 		kept := make([]Sample, 0, len(samples))
 		for _, sm := range samples {
 			if math.IsNaN(sm.Lat) || math.IsInf(sm.Lat, 0) {
@@ -72,43 +89,127 @@ func newStream(samples []Sample) *stream {
 		sort.Slice(kept, func(i, j int) bool { return kept[i].At < kept[j].At })
 		for _, sm := range kept {
 			s.at = append(s.at, sm.At)
+			s.lat = append(s.lat, sm.Lat)
 		}
-		samples = kept
 	}
 	s.sum = make([]float64, len(s.at)+1)
-	s.cnt = make([]int, len(s.at)+1)
-	j := 0
-	for _, sm := range samples {
-		if math.IsNaN(sm.Lat) || math.IsInf(sm.Lat, 0) {
-			continue
-		}
-		s.sum[j+1] = s.sum[j] + sm.Lat
-		s.cnt[j+1] = s.cnt[j] + 1
-		j++
+	for i, lat := range s.lat {
+		s.sum[i+1] = s.sum[i] + lat
 	}
 	return s
 }
 
-// span returns the time range covered by the stream.
+// reset returns a (possibly reused) stream to empty, keeping capacity.
+func (s *stream) reset() {
+	s.at = s.at[:0]
+	s.lat = s.lat[:0]
+	if cap(s.sum) == 0 {
+		s.sum = append(s.sum, 0)
+	} else {
+		s.sum = s.sum[:1]
+		s.sum[0] = 0
+	}
+	s.head = 0
+}
+
+// push appends one sample. The common case — timestamps arriving in
+// order — extends the prefix sums in O(1). A bounded inversion (the
+// receiver's local clock can reorder samples across a quantum boundary
+// by at most one quantum) is inserted in place, after any equal
+// timestamps, and the sums are re-extended from the insertion point so
+// the result matches a batch build of the same sorted sequence.
+func (s *stream) push(at sim.Time, lat float64) {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		return
+	}
+	if len(s.sum) == 0 {
+		s.sum = append(s.sum, 0)
+	}
+	n := len(s.at)
+	if n == 0 || at >= s.at[n-1] {
+		s.at = append(s.at, at)
+		s.lat = append(s.lat, lat)
+		s.sum = append(s.sum, s.sum[n]+lat)
+		return
+	}
+	pos := sort.Search(n, func(i int) bool { return s.at[i] > at })
+	if pos < s.head {
+		// A sample older than the retired horizon cannot influence any
+		// window a consumer will still read; clamping it to the head
+		// keeps the live region sorted without resurrecting history.
+		pos = s.head
+	}
+	s.at = append(s.at, 0)
+	copy(s.at[pos+1:], s.at[pos:])
+	s.at[pos] = at
+	s.lat = append(s.lat, 0)
+	copy(s.lat[pos+1:], s.lat[pos:])
+	s.lat[pos] = lat
+	s.sum = append(s.sum, 0)
+	for i := pos; i < len(s.at); i++ {
+		s.sum[i+1] = s.sum[i] + s.lat[i]
+	}
+}
+
+// retire drops all samples with timestamps before the horizon from the
+// live region. Once the dead prefix outgrows the live tail the arrays
+// are compacted in place (absolute sums preserved), so a streaming
+// receiver's footprint stays proportional to its look-behind window.
+func (s *stream) retire(before sim.Time) {
+	for s.head < len(s.at) && s.at[s.head] < before {
+		s.head++
+	}
+	if s.head > 64 && s.head > len(s.at)/2 {
+		n := copy(s.at, s.at[s.head:])
+		copy(s.lat, s.lat[s.head:])
+		copy(s.sum, s.sum[s.head:])
+		s.at = s.at[:n]
+		s.lat = s.lat[:n]
+		s.sum = s.sum[:n+1]
+		s.head = 0
+	}
+}
+
+// live returns the number of unretired samples.
+func (s *stream) live() int { return len(s.at) - s.head }
+
+// lastAt returns the newest timestamp in the stream.
+func (s *stream) lastAt() (sim.Time, bool) {
+	if s.head >= len(s.at) {
+		return 0, false
+	}
+	return s.at[len(s.at)-1], true
+}
+
+// span returns the time range covered by the live region.
 func (s *stream) span() (first, last sim.Time, ok bool) {
-	if len(s.at) == 0 {
+	if s.head >= len(s.at) {
 		return 0, 0, false
 	}
-	return s.at[0], s.at[len(s.at)-1], true
+	return s.at[s.head], s.at[len(s.at)-1], true
 }
 
 // mean returns the average latency over [a, b) and the sample count.
 func (s *stream) mean(a, b sim.Time) (float64, int) {
-	if b <= a || len(s.at) == 0 {
+	if b <= a || s.head >= len(s.at) {
 		return 0, 0
 	}
-	lo := sort.Search(len(s.at), func(i int) bool { return s.at[i] >= a })
-	hi := sort.Search(len(s.at), func(i int) bool { return s.at[i] >= b })
-	n := s.cnt[hi] - s.cnt[lo]
-	if n == 0 {
+	liveAt := s.at[s.head:]
+	lo := s.head + sort.Search(len(liveAt), func(i int) bool { return liveAt[i] >= a })
+	hi := s.head + sort.Search(len(liveAt), func(i int) bool { return liveAt[i] >= b })
+	if hi == lo {
 		return 0, 0
 	}
-	return (s.sum[hi] - s.sum[lo]) / float64(n), n
+	return (s.sum[hi] - s.sum[lo]) / float64(hi-lo), hi - lo
+}
+
+// acqScratch holds the correlator's working buffers — the preamble
+// template and the per-candidate observation vectors — so a long-lived
+// receiver reuses them across acquisitions instead of reallocating.
+type acqScratch struct {
+	tmpl   []float64
+	weight []bool
+	obs, g []float64
 }
 
 // acquireMinScore is the normalized-correlation floor below which the
@@ -139,10 +240,10 @@ func Acquire(samples []Sample, interval sim.Time, hold int, searchTo sim.Time) (
 		return Acquisition{}, false
 	}
 	str := newStream(samples)
-	return acquireStream(str, interval, hold, searchTo)
+	return acquireStream(str, interval, hold, searchTo, &acqScratch{})
 }
 
-func acquireStream(str *stream, interval sim.Time, hold int, searchTo sim.Time) (Acquisition, bool) {
+func acquireStream(str *stream, interval sim.Time, hold int, searchTo sim.Time, scr *acqScratch) (Acquisition, bool) {
 	first, last, ok := str.span()
 	if !ok {
 		return Acquisition{}, false
@@ -175,8 +276,21 @@ func acquireStream(str *stream, interval sim.Time, hold int, searchTo sim.Time) 
 	lag := 15 * sim.Millisecond       // epoch-boundary reaction latency
 	halfDur := sim.Time(hold) * interval
 	nSub := int(preamble / sub)
-	tmpl := make([]float64, nSub)
-	weight := make([]bool, nSub)
+	tmpl := scr.tmpl
+	if cap(tmpl) < nSub {
+		tmpl = make([]float64, nSub)
+	} else {
+		tmpl = tmpl[:nSub]
+		clear(tmpl)
+	}
+	weight := scr.weight
+	if cap(weight) < nSub {
+		weight = make([]bool, nSub)
+	} else {
+		weight = weight[:nSub]
+		clear(weight)
+	}
+	scr.tmpl, scr.weight = tmpl, weight
 	for i := range tmpl {
 		mid := sim.Time(i)*sub + sub/2
 		switch {
@@ -194,7 +308,7 @@ func acquireStream(str *stream, interval sim.Time, hold int, searchTo sim.Time) 
 
 	best := Acquisition{Score: -2}
 	for s := first; s <= limit; s += sub {
-		score, okc := correlate(str, s, sub, tmpl, weight)
+		score, okc := correlate(str, s, sub, tmpl, weight, scr)
 		if okc && score > best.Score {
 			best.Score = score
 			best.Start = s
@@ -225,8 +339,8 @@ func acquireStream(str *stream, interval sim.Time, hold int, searchTo sim.Time) 
 func refinePhase(str *stream, p0 float64, skipBits, n int, dec decoder, o trackerOpts) float64 {
 	iv := float64(o.interval) * (1 + o.ppmInit*1e-6)
 	probe := n
-	if probe > 24 {
-		probe = 24
+	if probe > refineProbeBits {
+		probe = refineProbeBits
 	}
 	if probe <= 0 {
 		return p0
@@ -258,12 +372,17 @@ func refinePhase(str *stream, p0 float64, skipBits, n int, dec decoder, o tracke
 	return best
 }
 
+// refineProbeBits bounds the decision-feedback probe of refinePhase (and
+// therefore how much stream a streaming demodulator must retain past the
+// preamble before refinement can run).
+const refineProbeBits = 24
+
 // correlate computes the normalized cross-correlation of the stream
 // against the template laid down at start, sub per template entry. It
 // reports ok=false when too few template positions have samples for the
 // statistic to mean anything.
-func correlate(str *stream, start sim.Time, sub sim.Time, tmpl []float64, weight []bool) (float64, bool) {
-	var obs, g []float64
+func correlate(str *stream, start sim.Time, sub sim.Time, tmpl []float64, weight []bool, scr *acqScratch) (float64, bool) {
+	obs, g := scr.obs[:0], scr.g[:0]
 	for i, w := range weight {
 		if !w {
 			continue
@@ -276,6 +395,7 @@ func correlate(str *stream, start sim.Time, sub sim.Time, tmpl []float64, weight
 		obs = append(obs, m)
 		g = append(g, tmpl[i])
 	}
+	scr.obs, scr.g = obs, g
 	// Require most of the weighted template to be observed: a lock
 	// extrapolated from a sliver of samples is no lock.
 	needed := 0

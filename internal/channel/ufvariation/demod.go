@@ -1,0 +1,255 @@
+package ufvariation
+
+import (
+	"repro/internal/cache"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// This file implements the streaming demodulator: the acquisition →
+// refinement → tracking pipeline of the self-synchronizing receiver,
+// run as a state machine over the latency stream *while it is being
+// recorded* instead of over a complete capture afterwards. Each stage
+// declares the newest timestamp it needs before it can run; the pump
+// fires it once the stream has settled past that point (one interval of
+// slack absorbs the bounded timestamp inversions a local clock model
+// can produce across a quantum boundary), and the tracker retires the
+// stream behind its phase as it advances. The receiver's memory is
+// therefore proportional to the preamble-plus-look-behind window, not
+// to the message: a transmission can run indefinitely in constant
+// space. Every stage consumes exactly the settled prefix the batch
+// pipeline would have read from a full capture, so the decoded bits,
+// diagnostics, and sync report are bit-identical to the old
+// capture-then-demodulate path.
+
+// RxScratch owns the receiver-side buffers one UF-variation endpoint
+// reuses across transmissions: the latency stream, the correlator's
+// template and observation vectors, the tracker's indecision ring, the
+// untracked window accumulators, and the probe eviction list. A
+// long-lived endpoint (LinkPhy under the ARQ transport) passes the same
+// scratch to every RunWith call and amortises all per-frame receiver
+// allocation away. The zero value is ready to use; a scratch must not
+// be shared between concurrent transmissions.
+type RxScratch struct {
+	str     stream
+	acq     acqScratch
+	demod   streamDemod
+	send    channel.Bits
+	lines   []cache.Line
+	lowRing []bool
+
+	t1Sum, t2Sum []float64
+	t1N, t2N     []int
+}
+
+type demodState int
+
+const (
+	// demodAcquire hunts the calibration preamble once the stream spans
+	// the search window plus the preamble.
+	demodAcquire demodState = iota
+	// demodRefine polishes an acquired phase by decision feedback over
+	// the first payload bits.
+	demodRefine
+	// demodFallback reads plateau references at the nominal preamble
+	// position after a failed acquisition.
+	demodFallback
+	// demodTrack steps the DLL one bit at a time as samples settle.
+	demodTrack
+	// demodDone has emitted all payload bits.
+	demodDone
+)
+
+// streamDemod drives the tracked receiver incrementally. It is owned by
+// an RxScratch and re-initialised per transmission.
+type streamDemod struct {
+	str *stream
+	scr *RxScratch
+
+	interval sim.Time
+	opts     trackerOpts
+	skip, n  int
+	hold     int
+	search   sim.Time
+	slack    sim.Time
+	diag     bool
+
+	state demodState
+	p0    float64 // estimated sender start, local clock
+	dec   decoder
+	acq   Acquisition
+
+	acquisitionRun bool
+	acquired       bool
+	score          float64
+
+	tk tracker
+}
+
+// init prepares the demodulator for one transmission of n payload bits
+// after skip preamble bits. fallback is the model-derived decoder used
+// when no calibration preamble is sent (ignored otherwise).
+func (d *streamDemod) init(cfg Config, skip, n int, fallback decoder, scr *RxScratch) {
+	scr.str.reset()
+	*d = streamDemod{
+		str:      &scr.str,
+		scr:      scr,
+		interval: cfg.Interval,
+		opts:     trackerOpts{interval: cfg.Interval, window: cfg.Window, ppmInit: cfg.TrackerPPM},
+		skip:     skip,
+		n:        n,
+		hold:     skip / 2,
+		slack:    cfg.Interval,
+		diag:     !cfg.NoDiagnostics,
+		p0:       float64(cfg.TrackerPhase),
+	}
+	d.search = cfg.AcquireSearch
+	if d.search <= 0 {
+		d.search = 8 * cfg.Interval
+	}
+	if cfg.OnlineCalibration {
+		d.state = demodAcquire
+	} else {
+		d.dec = fallback
+		d.startTracking()
+	}
+}
+
+// push records one timestamped latency sample.
+func (d *streamDemod) push(at sim.Time, lat float64) { d.str.push(at, lat) }
+
+// pump advances the state machine as far as the settled stream allows.
+// It is called once per receiver quantum; each stage runs only when the
+// newest sample is at least one slack interval past everything the
+// stage will read, so the data it consumes is final.
+func (d *streamDemod) pump() {
+	for {
+		last, ok := d.str.lastAt()
+		if !ok {
+			return
+		}
+		switch d.state {
+		case demodAcquire:
+			first, _, _ := d.str.span()
+			preamble := sim.Time(2*d.hold) * d.interval
+			if last < first+d.search+preamble+d.slack {
+				return
+			}
+			d.resolveAcquire()
+		case demodRefine:
+			if last < d.refineEnd()+d.slack {
+				return
+			}
+			d.resolveRefine()
+		case demodFallback:
+			if last < sim.Time(d.p0)+sim.Time(d.skip)*d.interval+d.slack {
+				return
+			}
+			d.resolveFallback()
+		case demodTrack:
+			if d.tk.k >= d.n {
+				d.state = demodDone
+				return
+			}
+			if last < d.tk.horizon()+d.slack {
+				return
+			}
+			d.tk.step(d.str)
+			// Nothing re-reads behind the loop: drop everything more
+			// than half an interval behind the early candidate window.
+			d.str.retire(d.tk.lookBehind() - d.interval/2)
+		case demodDone:
+			return
+		}
+	}
+}
+
+// resolveAcquire runs the preamble hunt. By the time it fires, the
+// stream covers the whole search window and the correlator sees exactly
+// what a full capture would have shown it: its scan limit is capped by
+// the search span, not by the stream's end.
+func (d *streamDemod) resolveAcquire() {
+	d.acquisitionRun = true
+	acq, ok := acquireStream(d.str, d.interval, d.hold, d.search, &d.scr.acq)
+	if ok {
+		d.acquired = true
+		d.score = acq.Score
+		d.acq = acq
+		d.dec = decoderFromRefs(acq.TMax, acq.TMin)
+		d.state = demodRefine
+	} else {
+		d.state = demodFallback
+	}
+}
+
+// refineEnd is the newest timestamp refinePhase will read: the last
+// probe bit's T2 window at the latest candidate offset.
+func (d *streamDemod) refineEnd() sim.Time {
+	iv := float64(d.opts.interval) * (1 + d.opts.ppmInit*1e-6)
+	probe := d.n
+	if probe > refineProbeBits {
+		probe = refineProbeBits
+	}
+	return d.acq.Start + sim.Time(float64(d.skip+probe)*iv+iv/4)
+}
+
+func (d *streamDemod) resolveRefine() {
+	d.p0 = refinePhase(d.str, float64(d.acq.Start), d.skip, d.n, d.dec, d.opts)
+	d.startTracking()
+}
+
+// resolveFallback reads the plateau references where the preamble
+// should have been, as the untracked online calibration would.
+func (d *streamDemod) resolveFallback() {
+	ref := d.interval / 4
+	at := sim.Time(d.p0)
+	tMax, _ := d.str.mean(at+sim.Time(d.hold)*d.interval-ref, at+sim.Time(d.hold)*d.interval)
+	tMin, _ := d.str.mean(at+sim.Time(d.skip)*d.interval-ref, at+sim.Time(d.skip)*d.interval)
+	d.dec = decoderFromRefs(tMax, tMin)
+	d.startTracking()
+}
+
+func (d *streamDemod) startTracking() {
+	ivLocal := float64(d.opts.interval) * (1 + d.opts.ppmInit*1e-6)
+	bitStart := sim.Time(d.p0 + float64(d.skip)*ivLocal)
+	var t1s, t2s []float64
+	if d.diag {
+		t1s = make([]float64, 0, d.n)
+		t2s = make([]float64, 0, d.n)
+	}
+	d.tk.init(bitStart, d.n, d.dec, d.opts, make([]int, 0, d.n), t1s, t2s, d.scr.lowRing)
+	d.scr.lowRing = d.tk.lowRing
+	d.state = demodTrack
+}
+
+// finalize drains the pipeline at end of transmission: any stage still
+// waiting for settle time runs against the now-complete stream (exactly
+// the batch semantics — a stream that ends early is all the data there
+// is), the tracker emits its remaining bits, and the sync report is
+// assembled. It returns the decoded payload, the per-bit window means
+// (nil when diagnostics are disabled), and the report.
+func (d *streamDemod) finalize() (channel.Bits, []float64, []float64, SyncReport) {
+	for d.state != demodTrack && d.state != demodDone {
+		switch d.state {
+		case demodAcquire:
+			d.resolveAcquire()
+		case demodRefine:
+			d.resolveRefine()
+		case demodFallback:
+			d.resolveFallback()
+		}
+	}
+	for d.tk.k < d.n {
+		d.tk.step(d.str)
+	}
+	d.state = demodDone
+	trep := d.tk.finish()
+	trep.AcquisitionRun = d.acquisitionRun
+	trep.Acquired = d.acquired
+	trep.AcquireScore = d.score
+	trep.Origin = sim.Time(d.p0)
+	if d.acquisitionRun && !d.acquired {
+		trep.Locked = false
+	}
+	return channel.Bits(d.tk.bits), d.tk.t1s, d.tk.t2s, trep
+}

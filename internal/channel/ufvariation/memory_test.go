@@ -1,0 +1,66 @@
+package ufvariation
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// TestLongTransmissionConstantMemory pins the streaming receiver's core
+// property: memory is O(window), not O(message). A transmission 10× the
+// quick-trial payload (96 bits in the sync experiment) must finish with
+// the sample window no larger than the short run's — the retiring stream
+// keeps only the tracker's look-behind — and a warmed scratch must not
+// re-allocate the sample volume on a repeat run.
+func TestLongTransmissionConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second transmission")
+	}
+	const shortBits, longBits = 96, 960
+	m := newMachine(77)
+	runOn := func(n int, scr *RxScratch) {
+		t.Helper()
+		m.Reset(77)
+		cfg := DefaultConfig()
+		cfg.Interval = 21 * sim.Millisecond
+		cfg.NoDiagnostics = true
+		bits := channel.RandomBits(m.Rand(5), n)
+		res, err := RunWith(m, cfg, bits, scr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BER > 0.1 {
+			t.Fatalf("%d-bit transmission BER = %v; memory bound is vacuous if the channel broke", n, res.BER)
+		}
+	}
+
+	var scrShort, scrLong RxScratch
+	runOn(shortBits, &scrShort)
+	runOn(longBits, &scrLong)
+	shortWin := cap(scrShort.str.at)
+	longWin := cap(scrLong.str.at)
+	if longWin > 3*shortWin {
+		t.Errorf("10× message grew the sample window %d -> %d (>3×): stream is not retiring", shortWin, longWin)
+	}
+	// Absolute sanity: the window covers a few symbol intervals of
+	// 200 µs quanta, nowhere near the ~1M samples of the full message.
+	if longWin > 200_000 {
+		t.Errorf("sample window holds %d samples; expected an O(window) bound", longWin)
+	}
+
+	// A warmed scratch replays the long transmission without
+	// re-allocating the sample volume. The grow-forever receiver
+	// allocated tens of MB here (every sample appended thrice over).
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	runOn(longBits, &scrLong)
+	runtime.ReadMemStats(&after)
+	delta := after.TotalAlloc - before.TotalAlloc
+	t.Logf("warmed %d-bit run allocated %.1f MB", longBits, float64(delta)/(1<<20))
+	if delta > 16<<20 {
+		t.Errorf("warmed long run allocated %.1f MB, want < 16 MB", float64(delta)/(1<<20))
+	}
+}

@@ -60,6 +60,7 @@ type LinkPhy struct {
 	phaseEst  sim.Time
 	ppmEst    float64
 	desynced  bool
+	scratch   RxScratch
 }
 
 // Transmit implements link.Phy: one UF-variation transmission of the
@@ -82,11 +83,16 @@ func (p *LinkPhy) Transmit(bits channel.Bits, interval sim.Time, pilot bool) (ch
 	if p.SyncFaults != nil {
 		total := len(bits)
 		if pilot {
-			total += len(CalibrationBits(interval))
+			total += CalibrationLen(interval)
 		}
 		p.SyncFaults(&cfg, total)
 	}
-	res, err := Run(p.M, cfg, bits)
+	// The adapter only reads Received and Sync, so the per-bit window
+	// diagnostics are dead weight; frame state lives in the reusable
+	// scratch so a session's allocation cost does not scale with its
+	// frame count.
+	cfg.NoDiagnostics = true
+	res, err := RunWith(p.M, cfg, bits, &p.scratch)
 	if err != nil {
 		return nil, err
 	}

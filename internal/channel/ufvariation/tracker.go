@@ -92,122 +92,190 @@ func (o trackerOpts) withDefaults() trackerOpts {
 // must not chase a corrupted stream into absurd symbol rates.
 const maxTrackPPM = 10000
 
-// decodeTracked demodulates n bits from the stream starting at the
-// estimated bit-0 boundary p0 (receiver clock), tracking symbol timing
-// as it goes. It returns the decoded bits, the per-bit window means
-// (for diagnostics), and the tracking report.
-func decodeTracked(str *stream, p0 sim.Time, n int, dec decoder, o trackerOpts) ([]int, []float64, []float64, SyncReport) {
+// tracker is the DLL's incremental core: one step demodulates one bit.
+// The batch decodeTracked wrapper drives it over a complete stream; the
+// streaming demodulator steps it as samples arrive, letting the stream
+// retire everything behind the loop's current phase.
+type tracker struct {
+	o   trackerOpts
+	dec decoder
+	n   int
+
+	bits     []int
+	t1s, t2s []float64 // nil: per-bit diagnostics disabled
+
+	iv, phase float64
+	phase0    float64
+	k         int
+
+	lowRun   int
+	lowRing  []bool // last lockWindow indecision verdicts
+	lowLen   int
+	lowPos   int
+	lowCount int
+	frozen   bool
+
+	marginSum float64
+	rep       SyncReport
+}
+
+// init prepares the tracker to demodulate n bits starting at p0. The
+// bits/t1s/t2s slices receive the per-bit outputs by append (pass nil
+// t1s/t2s to skip the diagnostic capture); ring is optional scratch for
+// the indecision window, regrown when too small.
+func (tk *tracker) init(p0 sim.Time, n int, dec decoder, o trackerOpts, bits []int, t1s, t2s []float64, ring []bool) {
 	o = o.withDefaults()
-	bits := make([]int, n)
-	t1s := make([]float64, n)
-	t2s := make([]float64, n)
-	rep := SyncReport{Tracked: true}
+	*tk = tracker{
+		o:    o,
+		dec:  dec,
+		n:    n,
+		bits: bits,
+		t1s:  t1s,
+		t2s:  t2s,
+		rep:  SyncReport{Tracked: true, MinMargin: math.Inf(1)},
+	}
+	tk.iv = float64(o.interval) * (1 + o.ppmInit*1e-6)
+	tk.phase = float64(p0)
+	tk.phase0 = tk.phase
+	if cap(ring) < o.lockWindow {
+		ring = make([]bool, o.lockWindow)
+	} else {
+		ring = ring[:o.lockWindow]
+		clear(ring)
+	}
+	tk.lowRing = ring
+}
 
-	iv := float64(o.interval) * (1 + o.ppmInit*1e-6)
-	phase := float64(p0)
-	phase0 := phase
-	w := o.window
-	lowRun := 0
-	var lowBits []bool
-	frozen := false
-	var marginSum float64
-	rep.MinMargin = math.Inf(1)
+// horizon returns the newest stream timestamp the next step will read:
+// the trailing edge of the late candidate's T2 window. A streaming
+// caller steps only once the stream has settled past it.
+func (tk *tracker) horizon() sim.Time {
+	return sim.Time(tk.phase + tk.iv/12 + tk.iv)
+}
 
-	for k := 0; k < n; k++ {
-		d := iv / 12 // trial offset: small vs the window, large vs per-bit drift
-		type cand struct {
-			t1, t2 float64
-			m      float64
-		}
-		eval := func(off float64) cand {
-			a := sim.Time(phase + off)
-			b := sim.Time(phase + off + iv)
-			t1, n1 := str.mean(a, a+w)
-			t2, n2 := str.mean(b-w, b)
-			if n1 == 0 {
-				t1 = 0
-			}
-			if n2 == 0 {
-				t2 = 0
-			}
-			return cand{t1, t2, dec.margin(t1, t2)}
-		}
-		early, center, late := eval(-d), eval(0), eval(+d)
+// lookBehind returns the oldest stream timestamp the next step will
+// read (the early candidate's T1 window); everything before it can be
+// retired.
+func (tk *tracker) lookBehind() sim.Time {
+	return sim.Time(tk.phase - tk.iv/12)
+}
 
-		best := center
-		if early.m > best.m {
-			best = early
+// step demodulates one bit from the stream at the loop's current phase
+// and advances the phase and interval estimates.
+func (tk *tracker) step(str *stream) {
+	o := tk.o
+	d := tk.iv / 12 // trial offset: small vs the window, large vs per-bit drift
+	type cand struct {
+		t1, t2 float64
+		m      float64
+	}
+	eval := func(off float64) cand {
+		a := sim.Time(tk.phase + off)
+		b := sim.Time(tk.phase + off + tk.iv)
+		t1, n1 := str.mean(a, a+o.window)
+		t2, n2 := str.mean(b-o.window, b)
+		if n1 == 0 {
+			t1 = 0
 		}
-		if late.m > best.m {
-			best = late
+		if n2 == 0 {
+			t2 = 0
 		}
-		bits[k] = dec.decide(best.t1, best.t2)
-		t1s[k], t2s[k] = best.t1, best.t2
+		return cand{t1, t2, tk.dec.margin(t1, t2)}
+	}
+	early, center, late := eval(-d), eval(0), eval(+d)
 
-		m := best.m
-		marginSum += m
-		if m < rep.MinMargin {
-			rep.MinMargin = m
-		}
-		low := m < o.lockMargin
-		if low {
-			lowRun++
-		} else {
-			lowRun = 0
-		}
-		lowBits = append(lowBits, low)
-		lowDense := 0
-		for i := len(lowBits) - 1; i >= 0 && i >= len(lowBits)-o.lockWindow; i-- {
-			if lowBits[i] {
-				lowDense++
-			}
-		}
-		// Two desync signatures: a contiguous run of indecisive bits
-		// (a blackout, or windows dead-centred on bit boundaries), and
-		// indecision dispersed across a window — the straddling receiver
-		// decodes saturated runs confidently but every transition lands
-		// mid-band, so the margin collapses on a large *fraction* of
-		// bits without ever collapsing for long.
-		if (lowRun >= o.lockRun || lowDense >= o.lockDense) && !rep.LockLost {
-			rep.LockLost = true
-			first := k - lowRun + 1
-			if lowRun < o.lockRun {
-				first = k - o.lockWindow + 1
-				if first < 0 {
-					first = 0
-				}
-			}
-			rep.LockLostBit = first
-			// Freeze the loop: with no credible margin the error
-			// signal is noise, and integrating noise walks the
-			// estimates away from any future re-lock.
-			frozen = true
-		}
-
-		// Timing error from the margin differential; only meaningful
-		// when the margins carry signal (a transition bit — runs are
-		// phase-insensitive and contribute no update).
-		e := 0.0
-		if den := early.m + center.m + late.m; den > 3*o.lockMargin && !frozen {
-			e = d * (late.m - early.m) / den
-			if e > d {
-				e = d
-			} else if e < -d {
-				e = -d
-			}
-		}
-		phase += iv + o.alpha*e
-		iv += o.beta * e
-		nom := float64(o.interval)
-		if iv > nom*(1+maxTrackPPM*1e-6) {
-			iv = nom * (1 + maxTrackPPM*1e-6)
-		} else if iv < nom*(1-maxTrackPPM*1e-6) {
-			iv = nom * (1 - maxTrackPPM*1e-6)
-		}
+	best := center
+	if early.m > best.m {
+		best = early
+	}
+	if late.m > best.m {
+		best = late
+	}
+	tk.bits = append(tk.bits, tk.dec.decide(best.t1, best.t2))
+	if tk.t1s != nil {
+		tk.t1s = append(tk.t1s, best.t1)
+		tk.t2s = append(tk.t2s, best.t2)
 	}
 
-	if n > 0 {
-		rep.MeanMargin = marginSum / float64(n)
+	m := best.m
+	tk.marginSum += m
+	if m < tk.rep.MinMargin {
+		tk.rep.MinMargin = m
+	}
+	low := m < o.lockMargin
+	if low {
+		tk.lowRun++
+	} else {
+		tk.lowRun = 0
+	}
+	// Sliding indecision window, kept as a ring: evict the verdict that
+	// just left the window, admit this bit's.
+	if tk.lowLen == o.lockWindow {
+		if tk.lowRing[tk.lowPos] {
+			tk.lowCount--
+		}
+	} else {
+		tk.lowLen++
+	}
+	tk.lowRing[tk.lowPos] = low
+	if low {
+		tk.lowCount++
+	}
+	tk.lowPos++
+	if tk.lowPos == o.lockWindow {
+		tk.lowPos = 0
+	}
+	lowDense := tk.lowCount
+	// Two desync signatures: a contiguous run of indecisive bits
+	// (a blackout, or windows dead-centred on bit boundaries), and
+	// indecision dispersed across a window — the straddling receiver
+	// decodes saturated runs confidently but every transition lands
+	// mid-band, so the margin collapses on a large *fraction* of
+	// bits without ever collapsing for long.
+	if (tk.lowRun >= o.lockRun || lowDense >= o.lockDense) && !tk.rep.LockLost {
+		tk.rep.LockLost = true
+		first := tk.k - tk.lowRun + 1
+		if tk.lowRun < o.lockRun {
+			first = tk.k - o.lockWindow + 1
+			if first < 0 {
+				first = 0
+			}
+		}
+		tk.rep.LockLostBit = first
+		// Freeze the loop: with no credible margin the error
+		// signal is noise, and integrating noise walks the
+		// estimates away from any future re-lock.
+		tk.frozen = true
+	}
+
+	// Timing error from the margin differential; only meaningful
+	// when the margins carry signal (a transition bit — runs are
+	// phase-insensitive and contribute no update).
+	e := 0.0
+	if den := early.m + center.m + late.m; den > 3*o.lockMargin && !tk.frozen {
+		e = d * (late.m - early.m) / den
+		if e > d {
+			e = d
+		} else if e < -d {
+			e = -d
+		}
+	}
+	tk.phase += tk.iv + o.alpha*e
+	tk.iv += o.beta * e
+	nom := float64(o.interval)
+	if tk.iv > nom*(1+maxTrackPPM*1e-6) {
+		tk.iv = nom * (1 + maxTrackPPM*1e-6)
+	} else if tk.iv < nom*(1-maxTrackPPM*1e-6) {
+		tk.iv = nom * (1 - maxTrackPPM*1e-6)
+	}
+	tk.k++
+}
+
+// finish closes the loop and returns the tracking report.
+func (tk *tracker) finish() SyncReport {
+	rep := tk.rep
+	if tk.n > 0 {
+		rep.MeanMargin = tk.marginSum / float64(tk.n)
 	} else {
 		rep.MinMargin = 0
 	}
@@ -215,11 +283,25 @@ func decodeTracked(str *stream, p0 sim.Time, n int, dec decoder, o trackerOpts) 
 	// local-clock time the loop actually consumed per bit — not from the
 	// interval register: the phase loop absorbs any residual detector
 	// bias, so the advance tracks the true rate even when iv wanders.
-	if n > 0 {
-		rep.PPMEst = ((phase-phase0)/(float64(n)*float64(o.interval)) - 1) * 1e6
+	if tk.n > 0 {
+		rep.PPMEst = ((tk.phase-tk.phase0)/(float64(tk.n)*float64(tk.o.interval)) - 1) * 1e6
 	}
 	rep.Locked = !rep.LockLost
-	return bits, t1s, t2s, rep
+	return rep
+}
+
+// decodeTracked demodulates n bits from the stream starting at the
+// estimated bit-0 boundary p0 (receiver clock), tracking symbol timing
+// as it goes. It returns the decoded bits, the per-bit window means
+// (for diagnostics), and the tracking report.
+func decodeTracked(str *stream, p0 sim.Time, n int, dec decoder, o trackerOpts) ([]int, []float64, []float64, SyncReport) {
+	var tk tracker
+	tk.init(p0, n, dec, o, make([]int, 0, n), make([]float64, 0, n), make([]float64, 0, n), nil)
+	for tk.k < n {
+		tk.step(str)
+	}
+	rep := tk.finish()
+	return tk.bits, tk.t1s, tk.t2s, rep
 }
 
 // margin quantifies how decisively a (T1, T2) window pair decodes under

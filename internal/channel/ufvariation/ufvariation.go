@@ -108,6 +108,10 @@ type Config struct {
 	// AcquireSearch bounds the preamble hunt past the nominal start;
 	// zero means eight bit intervals.
 	AcquireSearch sim.Time
+	// NoDiagnostics skips the per-bit T1/T2 window-mean capture:
+	// Result.T1 and Result.T2 stay nil. Link layers that only consume
+	// Received and Sync set it to keep long sessions allocation-free.
+	NoDiagnostics bool
 	// Clock, when non-nil, replaces the linear SkewPPM model: it maps
 	// true elapsed time since the nominal start to the receiver's local
 	// clock reading. It must be monotone with Clock(0) == 0. Use it for
@@ -132,18 +136,32 @@ type Preemption struct {
 // consecutive "1"s to saturate at the maximum frequency from anywhere in
 // the range, then enough "0"s to decay back to idle.
 func CalibrationBits(interval sim.Time) channel.Bits {
-	// The frequency moves one step per 10 ms epoch; the full range is
-	// nine steps. Hold each symbol long enough to cover the swing plus
-	// two intervals of plateau.
-	hold := int(100*sim.Millisecond/interval) + 3
-	bits := make(channel.Bits, 0, 2*hold)
+	return appendCalibrationBits(make(channel.Bits, 0, CalibrationLen(interval)), interval)
+}
+
+// CalibrationLen returns len(CalibrationBits(interval)) without
+// building the preamble.
+func CalibrationLen(interval sim.Time) int {
+	return 2 * calibrationHold(interval)
+}
+
+// calibrationHold is the per-symbol hold length of the preamble: the
+// frequency moves one step per 10 ms epoch and the full range is nine
+// steps, so each symbol is held long enough to cover the swing plus two
+// intervals of plateau.
+func calibrationHold(interval sim.Time) int {
+	return int(100*sim.Millisecond/interval) + 3
+}
+
+func appendCalibrationBits(dst channel.Bits, interval sim.Time) channel.Bits {
+	hold := calibrationHold(interval)
 	for i := 0; i < hold; i++ {
-		bits = append(bits, 1)
+		dst = append(dst, 1)
 	}
 	for i := 0; i < hold; i++ {
-		bits = append(bits, 0)
+		dst = append(dst, 0)
 	}
-	return bits
+	return dst
 }
 
 // DefaultConfig returns the paper's proof-of-concept setup: sender on
@@ -203,8 +221,10 @@ func (w *senderWorkload) Step(ctx *system.Ctx) system.Activity {
 }
 
 // receiverWorkload measures T1/T2 window latencies per interval, or —
-// in tracked mode — records a continuous timestamped latency stream for
-// the synchronization layer to demodulate.
+// in tracked mode — feeds each timestamped latency sample straight into
+// the streaming demodulator, which decodes behind the measurement and
+// retires the stream as it goes (so a transmission of any length runs
+// in memory bounded by the demodulator's window, not the message).
 type receiverWorkload struct {
 	lines    []cache.Line
 	start    sim.Time
@@ -218,7 +238,7 @@ type receiverWorkload struct {
 	t1Sum, t2Sum []float64
 	t1N, t2N     []int
 	lat          *trace.Series
-	stream       []Sample // tracked mode: all samples, local timestamps
+	demod        *streamDemod // tracked mode: the in-flight demodulator
 	track        bool
 }
 
@@ -303,11 +323,17 @@ func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
 				*cnt++
 			}
 			if record {
-				w.stream = append(w.stream, Sample{At: local + (ctx.Now() - at), Lat: lat})
+				w.demod.push(local+(ctx.Now()-at), lat)
 			}
 			if w.lat != nil {
 				w.lat.Add(ctx.Now(), lat)
 			}
+		}
+		if record {
+			// Let the demodulator consume whatever has settled; it does
+			// nothing until the stream has advanced past the next
+			// stage's horizon.
+			w.demod.pump()
 		}
 	}
 	rest := ctx.CoreFreq().CyclesIn(ctx.Remaining())
@@ -319,6 +345,17 @@ func (w *receiverWorkload) Step(ctx *system.Ctx) system.Activity {
 // threads are spawned, the transmission runs to completion, and the
 // spawned threads are stopped again.
 func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
+	return RunWith(m, cfg, bits, nil)
+}
+
+// RunWith is Run with caller-owned receiver scratch: a link layer that
+// transmits frame after frame over the same machine passes the same
+// RxScratch every time and reuses the latency stream, correlator, and
+// window buffers across transmissions. A nil scratch behaves like Run.
+func RunWith(m *system.Machine, cfg Config, bits channel.Bits, scr *RxScratch) (Result, error) {
+	if scr == nil {
+		scr = &RxScratch{}
+	}
 	if cfg.Interval <= 0 || cfg.Window <= 0 || cfg.Window*2 > cfg.Interval {
 		return Result{}, fmt.Errorf("ufvariation: invalid interval %v / window %v", cfg.Interval, cfg.Window)
 	}
@@ -371,18 +408,19 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 	if probeSlice < 0 {
 		return Result{}, fmt.Errorf("ufvariation: receiver core %d has no reachable probe slice", cfg.Receiver.Core)
 	}
-	lines, err := memsys.EvictionList(rSock.Hier, cfg.ReceiverDomain, memsys.NewAllocator(), 200, probeSlice, 20)
+	lines, err := memsys.EvictionListInto(scr.lines[:0], rSock.Hier, cfg.ReceiverDomain, memsys.NewAllocator(), 200, probeSlice, 20)
 	if err != nil {
 		return Result{}, err
 	}
+	scr.lines = lines
 
 	// With online calibration the transmission is prefixed by the known
 	// saturate/decay preamble from which the receiver will read its
 	// latency references.
 	send := bits
 	if cfg.OnlineCalibration {
-		cal := CalibrationBits(cfg.Interval)
-		send = append(append(channel.Bits{}, cal...), bits...)
+		send = append(appendCalibrationBits(scr.send[:0], cfg.Interval), bits...)
+		scr.send = send
 	}
 
 	// The receiver's clock model: an explicit wander function wins,
@@ -394,6 +432,7 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 	}
 
 	start := m.Now() + cfg.Lead
+	skip := len(send) - len(bits)
 	sw := &senderWorkload{start: start + cfg.StartOffset, interval: cfg.Interval, bits: send, inner: inner}
 	rw := &receiverWorkload{
 		lines:    lines,
@@ -405,10 +444,25 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 		clock:    clock,
 		blackout: cfg.Preemptions,
 		track:    cfg.Track,
-		t1Sum:    make([]float64, len(send)),
-		t2Sum:    make([]float64, len(send)),
-		t1N:      make([]int, len(send)),
-		t2N:      make([]int, len(send)),
+	}
+	if cfg.Track {
+		// Tracked mode never touches the windowed accumulators: the
+		// streaming demodulator places its own windows. Its fallback
+		// decoder (no calibration preamble) comes from the platform
+		// latency model.
+		var fallback decoder
+		if !cfg.OnlineCalibration {
+			fallback = newDecoder(m, cfg, probeSlice)
+		}
+		scr.demod.init(cfg, skip, len(bits), fallback, scr)
+		rw.demod = &scr.demod
+	} else {
+		scr.t1Sum = growFloats(scr.t1Sum, len(send))
+		scr.t2Sum = growFloats(scr.t2Sum, len(send))
+		scr.t1N = growInts(scr.t1N, len(send))
+		scr.t2N = growInts(scr.t2N, len(send))
+		rw.t1Sum, rw.t2Sum = scr.t1Sum, scr.t2Sum
+		rw.t1N, rw.t2N = scr.t1N, scr.t2N
 	}
 	if rw.per <= 0 {
 		rw.per = 20
@@ -440,13 +494,16 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 	for _, t := range threads {
 		t.Stop()
 	}
+	// Long-lived sessions (the ARQ transport) run many transmissions on
+	// one machine; reap the stopped threads so the scheduler's list does
+	// not grow with the session.
+	m.Reap()
 
-	skip := len(send) - len(bits)
 	res := Result{}
 	var received channel.Bits
 	if cfg.Track {
 		var rep SyncReport
-		received, res.T1, res.T2, rep = demodulate(m, cfg, rw.stream, skip, len(bits), probeSlice)
+		received, res.T1, res.T2, rep = rw.demod.finalize()
 		res.Sync = &rep
 	} else {
 		var dec decoder
@@ -456,12 +513,16 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 			dec = newDecoder(m, cfg, probeSlice)
 		}
 		received = make(channel.Bits, len(bits))
-		res.T1 = make([]float64, len(bits))
-		res.T2 = make([]float64, len(bits))
+		if !cfg.NoDiagnostics {
+			res.T1 = make([]float64, len(bits))
+			res.T2 = make([]float64, len(bits))
+		}
 		for i := range bits {
 			t1 := mean(rw.t1Sum[skip+i], rw.t1N[skip+i])
 			t2 := mean(rw.t2Sum[skip+i], rw.t2N[skip+i])
-			res.T1[i], res.T2[i] = t1, t2
+			if res.T1 != nil {
+				res.T1[i], res.T2[i] = t1, t2
+			}
 			received[i] = dec.decide(t1, t2)
 		}
 	}
@@ -470,54 +531,25 @@ func Run(m *system.Machine, cfg Config, bits channel.Bits) (Result, error) {
 	return res, nil
 }
 
-// demodulate runs the synchronization layer over a tracked reception's
-// latency stream: acquisition (when a calibration preamble was sent),
-// then DLL symbol tracking over the payload bits.
-func demodulate(m *system.Machine, cfg Config, samples []Sample, skip, n, probeSlice int) (channel.Bits, []float64, []float64, SyncReport) {
-	str := newStream(samples)
-	opts := trackerOpts{interval: cfg.Interval, window: cfg.Window, ppmInit: cfg.TrackerPPM}
-	ivLocal := float64(cfg.Interval) * (1 + cfg.TrackerPPM*1e-6)
-
-	var dec decoder
-	p0 := float64(cfg.TrackerPhase) // estimated sender start, local clock
-	rep := SyncReport{Tracked: true}
-	if cfg.OnlineCalibration {
-		hold := skip / 2
-		search := cfg.AcquireSearch
-		if search <= 0 {
-			search = 8 * cfg.Interval
-		}
-		rep.AcquisitionRun = true
-		acq, ok := acquireStream(str, cfg.Interval, hold, search)
-		if ok {
-			rep.Acquired = true
-			rep.AcquireScore = acq.Score
-			dec = decoderFromRefs(acq.TMax, acq.TMin)
-			p0 = refinePhase(str, float64(acq.Start), skip, n, dec, opts)
-		} else {
-			// No lock: fall back to the nominal phase and read the
-			// references where the preamble should have been, as the
-			// untracked online calibration would.
-			ref := cfg.Interval / 4
-			at := sim.Time(p0)
-			tMax, _ := str.mean(at+sim.Time(hold)*cfg.Interval-ref, at+sim.Time(hold)*cfg.Interval)
-			tMin, _ := str.mean(at+sim.Time(skip)*cfg.Interval-ref, at+sim.Time(skip)*cfg.Interval)
-			dec = decoderFromRefs(tMax, tMin)
-		}
-	} else {
-		dec = newDecoder(m, cfg, probeSlice)
+// growFloats returns s resized to n zeroed entries, reallocating only
+// when the capacity is too small.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	s = s[:n]
+	clear(s)
+	return s
+}
 
-	bitStart := sim.Time(p0 + float64(skip)*ivLocal)
-	bits, t1s, t2s, trep := decodeTracked(str, bitStart, n, dec, opts)
-	trep.AcquisitionRun = rep.AcquisitionRun
-	trep.Acquired = rep.Acquired
-	trep.AcquireScore = rep.AcquireScore
-	trep.Origin = sim.Time(p0)
-	if rep.AcquisitionRun && !rep.Acquired {
-		trep.Locked = false
+// growInts is growFloats for int slices.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
-	return channel.Bits(bits), t1s, t2s, trep
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // calibrateDecoder reads the latency references off the calibration

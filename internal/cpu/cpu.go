@@ -100,6 +100,17 @@ func NewCore(id int, tile topo.Coord, base sim.Freq) *Core {
 	return &Core{ID: id, Tile: tile, Freq: base, Base: base, CState: C6}
 }
 
+// Reset returns the core to the idle state NewCore built: counters
+// zeroed, deep sleep, idle bookkeeping cleared. The caller restores Freq
+// (the machine pins it to its configured operating point, which NewCore
+// does not know).
+func (c *Core) Reset() {
+	c.Freq = c.Base
+	c.CState = C6
+	c.Total, c.Epoch, c.Tail = Counters{}, Counters{}, Counters{}
+	c.idleFor = 0
+}
+
 // AboveBase reports whether the core is running above its base frequency,
 // which disables UFS for the whole socket (§2.2.1).
 func (c *Core) AboveBase() bool { return c.Freq > c.Base }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/system"
 )
 
 // renderOnce runs the experiment with the recorded-results options in
@@ -49,6 +51,39 @@ func TestGoldenOutputs(t *testing.T) {
 			}
 			if !bytes.Equal(got, want) {
 				t.Errorf("%s output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", id, path, got, want)
+			}
+		})
+	}
+}
+
+// TestPooledRunsIdentical runs each experiment once with fresh machines
+// and twice against one shared Pool, requiring byte-identical reports.
+// The second pooled run exercises recycled machines for every trial, so
+// any state Machine.Reset fails to restore — a stale ticker, a replayed
+// rng stream out of order, a dirty cache set — diverges the output.
+func TestPooledRunsIdentical(t *testing.T) {
+	for _, id := range []string{"fig3", "sync", "rel", "sec61"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fresh := renderOnce(t, id)
+			e, _ := Get(id)
+			pool := &system.Pool{}
+			for round := 0; round < 2; round++ {
+				res, err := e.Run(Options{Seed: 0x5eed, Quick: true, Machines: pool})
+				if err != nil {
+					t.Fatalf("%s pooled round %d: %v", id, round, err)
+				}
+				var buf bytes.Buffer
+				if err := res.Render(&buf); err != nil {
+					t.Fatalf("%s pooled round %d: render: %v", id, round, err)
+				}
+				if !bytes.Equal(fresh, buf.Bytes()) {
+					t.Errorf("%s: pooled round %d diverged from fresh-machine run\n--- fresh ---\n%s\n--- pooled ---\n%s", id, round, fresh, buf.Bytes())
+				}
+			}
+			if pool.Size() == 0 {
+				t.Errorf("%s: pool never received a released machine", id)
 			}
 		})
 	}

@@ -76,6 +76,7 @@ func Fig10x(opts Options) (Fig10xResult, error) {
 				}
 				tot += nbits
 				errBits += int(r.BER*float64(nbits) + 0.5)
+				opts.Release(m)
 			}
 			ber := float64(errBits) / float64(tot)
 			cap := capacityOf(1/iv.Seconds(), ber)

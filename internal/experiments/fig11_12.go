@@ -49,6 +49,7 @@ func Fig11(opts Options) (Fig11Result, error) {
 		}
 		res.Traces = append(res.Traces, tr)
 		res.Dwell = append(res.Dwell, sidechannel.DwellTime(tr, 3*sim.Millisecond))
+		opts.Release(m)
 	}
 
 	// The attacker calibrates its dwell→size model on two reference
@@ -81,6 +82,7 @@ func Fig11(opts Options) (Fig11Result, error) {
 		if sidechannel.ClassifySize(est, candidates) == size {
 			correct++
 		}
+		opts.Release(m)
 	}
 	res.Trials = len(sweep)
 	res.Accuracy = float64(correct) / float64(len(sweep))
@@ -122,13 +124,19 @@ func Fig12(opts Options) (Fig12Result, error) {
 		return Fig12Result{}, err
 	}
 	seedCtr := opts.Seed
+	// Visits run strictly one at a time, so the factory can recycle the
+	// previous visit's machine before building the next.
+	var prev *system.Machine
 	mk := func() *system.Machine {
+		opts.Release(prev)
 		seedCtr++
 		cfg := system.DefaultConfig()
 		cfg.Seed = seedCtr
-		return bindMachine(system.New(cfg), opts)
+		prev = bindMachine(opts.Machines.Get(cfg), opts)
+		return prev
 	}
 	rep, err := sidechannel.Fingerprint(mk, sidechannel.Sites(nsites), train, test)
+	opts.Release(prev)
 	if err != nil {
 		return Fig12Result{}, err
 	}

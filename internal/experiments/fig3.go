@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -64,6 +65,7 @@ func Fig3(opts Options) (Fig3Result, error) {
 	if opts.Quick {
 		settle = 800 * sim.Millisecond
 	}
+	var srt stats.Sorter // one median buffer for the whole grid
 	for _, tt := range types {
 		row := make([]float64, len(counts))
 		for j, n := range counts {
@@ -84,7 +86,8 @@ func Fig3(opts Options) (Fig3Result, error) {
 					m.Spawn(fmt.Sprintf("traffic-%d", i), 0, cs[0], 0, &workload.Traffic{Slice: cs[1]})
 				}
 			}
-			row[j] = medianFreq(m, 0, settle, window)
+			row[j] = medianFreqWith(m, 0, settle, window, &srt)
+			opts.Release(m)
 		}
 		res.Freq = append(res.Freq, row)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -71,6 +72,7 @@ func Fig4(opts Options) (Fig4Result, error) {
 		unstalled = append(unstalled, k)
 	}
 	res := Fig4Result{Stalled: stalled, Unstalled: unstalled}
+	var srt stats.Sorter // one median buffer for the whole grid
 	for _, s := range stalled {
 		row := make([]float64, len(unstalled))
 		for j, k := range unstalled {
@@ -93,7 +95,8 @@ func Fig4(opts Options) (Fig4Result, error) {
 				m.Spawn(fmt.Sprintf("busy-%d", i), 0, core, 0, workload.Nop{})
 				core++
 			}
-			row[j] = medianFreq(m, 0, 1200*sim.Millisecond, 400*sim.Millisecond)
+			row[j] = medianFreqWith(m, 0, 1200*sim.Millisecond, 400*sim.Millisecond, &srt)
+			opts.Release(m)
 		}
 		res.Freq = append(res.Freq, row)
 	}

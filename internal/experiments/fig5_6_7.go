@@ -88,6 +88,7 @@ func rampExperiment(opts Options, title string, startStalling bool) (RampResult,
 	m.Spawn("phase", 0, 0, 0, w)
 	tr := sampleUncore(m, 0, 200*sim.Microsecond, "socket0")
 	m.Run(switchAt + 170*sim.Millisecond)
+	opts.Release(m)
 	return RampResult{
 		Title:    title,
 		Traces:   []*trace.Series{tr},
@@ -113,6 +114,7 @@ func Fig7(opts Options) (RampResult, error) {
 	t0 := sampleUncore(m, 0, 200*sim.Microsecond, "socket0")
 	t1 := sampleUncore(m, 1, 200*sim.Microsecond, "socket1")
 	m.Run(switchAt + 170*sim.Millisecond)
+	opts.Release(m)
 	return RampResult{
 		Title:    "Figure 7: uncore frequency traces on both processors (stalling loop on processor 0)",
 		Traces:   []*trace.Series{t0, t1},

@@ -59,6 +59,7 @@ func Fig8(opts Options) (Fig8Result, error) {
 		hops = []int{0, 3}
 	}
 	res := Fig8Result{Freqs: freqs, Hops: hops}
+	var srt stats.Sorter // one summary buffer for the whole grid
 	for _, h := range hops {
 		row := make([]stats.Summary, len(freqs))
 		for j, f := range freqs {
@@ -69,7 +70,7 @@ func Fig8(opts Options) (Fig8Result, error) {
 			if err != nil {
 				return Fig8Result{}, err
 			}
-			row[j] = stats.Summarize(samples)
+			row[j] = srt.Load(samples).Summarize()
 		}
 		res.Summary = append(res.Summary, row)
 	}
@@ -126,6 +127,7 @@ func fig8Samples(opts Options, h int, f sim.Freq) ([]float64, error) {
 			out = append(out, smp.lat)
 		}
 	}
+	opts.Release(m)
 	if len(out) == 0 {
 		return nil, fmt.Errorf("experiments: no latency samples collected")
 	}

@@ -41,6 +41,7 @@ func Fig9(opts Options) (Fig9Result, error) {
 	if err != nil {
 		return Fig9Result{}, err
 	}
+	opts.Release(m)
 	return Fig9Result{Res: res, Freq: freq}, nil
 }
 
@@ -125,6 +126,7 @@ func Fig10(opts Options) (Fig10Result, error) {
 				}
 				totBits += len(bits)
 				errBits += int(res.BER*float64(len(bits)) + 0.5)
+				opts.Release(m)
 			}
 			ber := float64(errBits) / float64(totBits)
 			rate := 1 / iv.Seconds()

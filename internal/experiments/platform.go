@@ -10,11 +10,12 @@ import (
 )
 
 // newMachine builds the default Table 1 platform with the experiment seed,
-// bound to the run's context and step budget.
+// bound to the run's context and step budget. With a pool in the options
+// it recycles a previously released machine instead of building anew.
 func newMachine(opts Options) *system.Machine {
 	cfg := system.DefaultConfig()
 	cfg.Seed = opts.Seed
-	return bindMachine(system.New(cfg), opts)
+	return bindMachine(opts.Machines.Get(cfg), opts)
 }
 
 // bindMachine threads the run's cancellation and watchdog into a machine;
@@ -50,11 +51,24 @@ func sampleUncore(m *system.Machine, socket int, period sim.Time, name string) *
 // medianFreq runs the machine for settle, then returns the median uncore
 // frequency (GHz) of socket over a further window.
 func medianFreq(m *system.Machine, socket int, settle, window sim.Time) float64 {
+	return medianFreqWith(m, socket, settle, window, &stats.Sorter{})
+}
+
+// medianFreqWith is medianFreq with a caller-owned sorter, so sweep
+// loops taking one median per grid cell reuse a single scratch buffer
+// instead of copying every window. Sorter medians are bit-identical to
+// stats.Median.
+func medianFreqWith(m *system.Machine, socket int, settle, window sim.Time, srt *stats.Sorter) float64 {
 	s := sampleUncore(m, socket, sim.Millisecond, "median")
+	s.Reserve(int((settle+window)/sim.Millisecond) + 2)
 	m.Run(settle)
 	start := len(s.Samples)
 	m.Run(window)
-	return stats.Median(s.Values()[start:])
+	srt.Reset()
+	for _, smp := range s.Samples[start:] {
+		srt.Add(smp.Value)
+	}
+	return srt.Median()
 }
 
 // coresWithSliceAt returns n (core, slice) pairs on the die whose mesh

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/system"
 )
 
 // Options tune an experiment run.
@@ -35,6 +37,13 @@ type Options struct {
 	// so a runaway simulation fails with sim.ErrBudgetExceeded instead
 	// of spinning. The budget is per machine, not per experiment.
 	MaxEngineSteps int64
+	// Machines, when non-nil, recycles platform machines across the
+	// run's trials: newMachine draws from the pool and experiments hand
+	// finished machines back through Release. Machine.Reset makes a
+	// recycled machine bit-identical to a fresh one, so pooling changes
+	// only the allocation profile, never the results. Nil builds a fresh
+	// machine per trial.
+	Machines *system.Pool
 }
 
 // DefaultOptions returns the options used for the recorded results.
@@ -70,12 +79,20 @@ func (o Options) Logf(format string, args ...any) {
 }
 
 // Reseeded returns a copy of o with the seed replaced, keeping the
-// context, log, and budget. Experiments that build per-trial machines
-// derive their inner options this way so cancellation still reaches the
-// inner engines.
+// context, log, budget, and machine pool. Experiments that build
+// per-trial machines derive their inner options this way so
+// cancellation still reaches the inner engines.
 func (o Options) Reseeded(seed uint64) Options {
 	o.Seed = seed
 	return o
+}
+
+// Release hands a finished trial machine back to the run's pool; with
+// no pool it is a no-op and the machine is left to the collector. Call
+// it only once nothing downstream retains the machine — results must
+// have been copied out of any machine-owned state.
+func (o Options) Release(m *system.Machine) {
+	o.Machines.Put(m)
 }
 
 // Result is a rendered experiment outcome.

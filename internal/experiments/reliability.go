@@ -120,6 +120,7 @@ func runReliability(opts Options) (Result, error) {
 			}
 			rx := plat.inj.CorruptBits(raw.Received)
 			row.RawBER = channel.Evaluate(bits, rx, base.Interval).BER
+			opts.Release(plat.m)
 		}
 
 		// Transport leg: fresh platform, identical fault processes, the
@@ -157,6 +158,7 @@ func runReliability(opts Options) (Result, error) {
 			if terr != nil {
 				row.Note = terr.Error()
 			}
+			opts.Release(plat.m)
 		}
 		res.Rows = append(res.Rows, row)
 	}

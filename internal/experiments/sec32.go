@@ -34,7 +34,9 @@ func Sec32(opts Options) (Sec32Result, error) {
 		m := newMachine(opts)
 		t := m.Spawn("probe", 0, 0, 0, mk(m))
 		m.Run(sim.Second)
-		return t.Core.Total.StallRatio()
+		ratio := t.Core.Total.StallRatio()
+		opts.Release(m)
+		return ratio
 	}
 	res := Sec32Result{
 		ChaseRatio: measure(func(m *system.Machine) system.Workload {

@@ -85,6 +85,7 @@ func Sec61(opts Options) (Sec61Result, error) {
 		if err != nil {
 			return Sec61Result{}, err
 		}
+		opts.Release(m)
 		res.Cases = append(res.Cases, Sec61Case{
 			Name:       c.name,
 			BER:        r.BER,

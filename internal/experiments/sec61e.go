@@ -90,7 +90,9 @@ func Sec61e(opts Options) (Sec61eResult, error) {
 		analyticsJob(m, 4)
 		tr := sampleUncore(m, 0, sim.Millisecond, "power")
 		m.Run(runTime)
-		return meter.EnergyJoules(tr, sim.Millisecond), nil
+		j := meter.EnergyJoules(tr, sim.Millisecond)
+		opts.Release(m)
+		return j, nil
 	}
 
 	sec, err := Sec61(opts)
@@ -140,6 +142,7 @@ func Sec61e(opts Options) (Sec61eResult, error) {
 			tr := sampleUncore(m, 0, sim.Millisecond, "power")
 			m.Run(runTime)
 			j = meter.EnergyJoules(tr, sim.Millisecond)
+			opts.Release(m)
 		}
 		if i == 0 {
 			baseline = j

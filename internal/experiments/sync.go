@@ -154,6 +154,7 @@ func runSync(opts Options) (Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				opts.Release(m)
 				if track {
 					row.TrackedBER = r.BER
 					if r.Sync != nil {
@@ -184,6 +185,7 @@ func runSync(opts Options) (Result, error) {
 		if err != nil {
 			return err
 		}
+		opts.Release(m)
 		row := syncOffsetRow{OffsetBits: offsetBits, Tracked: track, BER: r.BER}
 		if r.Sync != nil {
 			row.Acquired = r.Sync.Acquired
@@ -240,6 +242,7 @@ func runSync(opts Options) (Result, error) {
 		tcfg.MaxInterval = 4 * base.Interval
 		tr := link.NewTransport(phy, tcfg)
 		got, tstats, terr := tr.Send(payload)
+		opts.Release(m)
 
 		row := syncTransportRow{
 			Label:     label,

@@ -99,6 +99,7 @@ func Tab2(opts Options) (Tab2Result, error) {
 				}
 				totBits += len(payload)
 				errBits += int(r.BER*float64(len(payload)) + 0.5)
+				opts.Release(m)
 			}
 			ber := float64(errBits) / float64(totBits)
 			if c := capacityOf(1/iv.Seconds(), ber); c > best {

@@ -312,6 +312,21 @@ func (m *Mesh) addSlot(d cache.Domain) int {
 	return s
 }
 
+// Reset returns the interconnect to cold state in place: TDM off, all
+// per-quantum load rows zeroed, and the aggregate counters cleared. The
+// precomputed link/route tables are immutable and untouched; domain slot
+// registrations persist (their rows are zeroed), which is behaviour-
+// neutral because contention only reads row values, never row identity.
+func (m *Mesh) Reset() {
+	m.tdm = false
+	for _, row := range m.load {
+		clear(row)
+	}
+	clear(m.total)
+	m.capacity = 0
+	m.totalFlitHops = 0
+}
+
 // SetTDM switches time-division-multiplexed scheduling on or off.
 func (m *Mesh) SetTDM(on bool) { m.tdm = on }
 

@@ -96,6 +96,13 @@ func NewFile() *File {
 	return &File{ratio: RatioLimit{Min: sim.UncoreMinDefault, Max: sim.UncoreMaxDefault}}
 }
 
+// Reset restores the register file to its power-on state: the
+// platform-default ratio limit and a zeroed uncore clock counter.
+func (f *File) Reset() {
+	f.ratio = RatioLimit{Min: sim.UncoreMinDefault, Max: sim.UncoreMaxDefault}
+	f.uclk = 0
+}
+
 // Read returns the value of register addr at privilege p.
 func (f *File) Read(p Privilege, addr uint32) (uint64, error) {
 	if p != Kernel {

@@ -44,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/system"
 )
 
 // Status classifies one experiment's outcome in a sweep.
@@ -248,12 +249,17 @@ func Run(ctx context.Context, cfg Config, exps []experiments.Experiment) (Summar
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker recycles machines across its experiments;
+			// Machine.Reset makes pooled trials bit-identical to fresh
+			// ones, so the pool changes allocation, not results. Pools
+			// are per-worker so experiments never contend on the mutex.
+			pool := &system.Pool{}
 			for e := range jobs {
 				if err := sweepCtx.Err(); err != nil {
 					record(Report{ID: e.ID, Title: e.Title, Status: StatusSkipped, Seed: cfg.Seed, Err: err})
 					continue
 				}
-				rep := supervise(sweepCtx, cfg, e, logw)
+				rep := supervise(sweepCtx, cfg, e, logw, pool)
 				record(rep)
 				if rep.Status == StatusFailed && !cfg.KeepGoing {
 					cancelSweep()
@@ -287,7 +293,7 @@ func Run(ctx context.Context, cfg Config, exps []experiments.Experiment) (Summar
 
 // supervise runs one experiment through the full attempt loop: deadline,
 // panic recovery, bounded reseeding retries, and crash-artifact capture.
-func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw io.Writer) Report {
+func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw io.Writer, pool *system.Pool) Report {
 	rep := Report{ID: e.ID, Title: e.Title, Seed: cfg.Seed}
 	rlog := &runLog{max: 16 << 10}
 	start := time.Now()
@@ -306,7 +312,7 @@ func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw i
 			fmt.Fprintf(logw, "== %s: retry %d/%d with seed %#x\n", e.ID, attempt, cfg.Retries, seed)
 			fmt.Fprintf(rlog, "retry %d/%d with seed %#x\n", attempt, cfg.Retries, seed)
 		}
-		res, abandoned, err := attempt1(ctx, cfg, e, seed, rlog)
+		res, abandoned, err := attempt1(ctx, cfg, e, seed, rlog, pool)
 		rep.Attempts++
 		rep.Abandoned = rep.Abandoned || abandoned
 		if err == nil {
@@ -344,7 +350,7 @@ func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw i
 // deadline, recovering panics and unwrapping engine aborts. The
 // abandoned return is true when the run ignored its cancelled context
 // past the grace window and its goroutine was left behind.
-func attempt1(ctx context.Context, cfg Config, e experiments.Experiment, seed uint64, rlog *runLog) (res experiments.Result, abandoned bool, err error) {
+func attempt1(ctx context.Context, cfg Config, e experiments.Experiment, seed uint64, rlog *runLog, pool *system.Pool) (res experiments.Result, abandoned bool, err error) {
 	var actx context.Context
 	var cancel context.CancelFunc
 	if cfg.Timeout > 0 {
@@ -360,6 +366,7 @@ func attempt1(ctx context.Context, cfg Config, e experiments.Experiment, seed ui
 		Context:        actx,
 		Log:            rlog,
 		MaxEngineSteps: cfg.MaxEngineSteps,
+		Machines:       pool,
 	}
 
 	type outcome struct {

@@ -112,6 +112,33 @@ type Engine struct {
 // NewEngine returns an engine positioned at virtual time zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns the engine to its initial state — virtual time zero, no
+// tickers, no bound context, watchdog disarmed — while keeping the heap
+// and cohort backing arrays for reuse. A reset engine is indistinguishable
+// from NewEngine() to its tickers: registration sequence numbers restart
+// at zero, so re-Adding tickers in construction order reproduces the
+// original firing order exactly.
+func (e *Engine) Reset() {
+	for i := range e.heap {
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:0]
+	for i := range e.cohort {
+		e.cohort[i] = nil
+	}
+	e.cohort = e.cohort[:0]
+	for i := range e.pending {
+		e.pending[i] = nil
+	}
+	e.pending = e.pending[:0]
+	e.now = 0
+	e.seq = 0
+	e.steps = 0
+	e.firing = false
+	e.ctx = nil
+	e.budget = 0
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -1,0 +1,114 @@
+package stats
+
+import "sort"
+
+// Sorter computes order statistics over a reusable scratch buffer.
+// Percentile and friends copy and sort their input on every call, which
+// is the right contract for one-shot summaries but allocates O(n) per
+// call; sweep loops that take a median per grid cell (Figures 3 and 4
+// sample ~400 frequency points per cell) pay that on every iteration.
+// A Sorter owns the copy: Load fills the buffer in place, one sort
+// serves any number of quantile reads, and the buffer's capacity is
+// retained across Loads.
+//
+// The results are bit-identical to the package functions — both paths
+// share the same sort and the same interpolation.
+type Sorter struct {
+	buf    []float64
+	sum    float64 // accumulated in arrival order, so Mean matches Mean(xs)
+	sorted bool
+}
+
+// Reset clears the buffer for incremental filling with Add.
+func (s *Sorter) Reset() {
+	s.buf = s.buf[:0]
+	s.sum = 0
+	s.sorted = false
+}
+
+// Add appends one observation.
+func (s *Sorter) Add(v float64) {
+	s.buf = append(s.buf, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// Load replaces the buffer contents with a copy of xs and returns the
+// Sorter for chaining. xs is not modified or retained.
+func (s *Sorter) Load(xs []float64) *Sorter {
+	s.buf = append(s.buf[:0], xs...)
+	s.sum = 0
+	for _, x := range xs {
+		s.sum += x
+	}
+	s.sorted = false
+	return s
+}
+
+// Len returns the number of loaded observations.
+func (s *Sorter) Len() int { return len(s.buf) }
+
+func (s *Sorter) sort() {
+	if !s.sorted {
+		sort.Float64s(s.buf)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of the loaded values
+// by the same linear interpolation as the package-level Percentile, or 0
+// when nothing is loaded.
+func (s *Sorter) Percentile(p float64) float64 {
+	if len(s.buf) == 0 {
+		return 0
+	}
+	s.sort()
+	return percentileSorted(s.buf, p)
+}
+
+// Median returns the 50th percentile of the loaded values.
+func (s *Sorter) Median() float64 { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean of the loaded values. The sum is
+// accumulated in arrival order, so the result is bit-identical to
+// Mean over the same values even after a quantile read has sorted the
+// buffer.
+func (s *Sorter) Mean() float64 {
+	if len(s.buf) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.buf))
+}
+
+// Summarize computes the five-number Summary of the loaded values with
+// a single sort.
+func (s *Sorter) Summarize() Summary {
+	return Summary{
+		P1:     s.Percentile(1),
+		P25:    s.Percentile(25),
+		Median: s.Percentile(50),
+		P75:    s.Percentile(75),
+		P99:    s.Percentile(99),
+		Mean:   s.Mean(),
+		N:      len(s.buf),
+	}
+}
+
+// percentileSorted interpolates the p-th percentile of an already-sorted
+// slice; Percentile and Sorter both resolve through it so the two paths
+// cannot drift.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Sorter must agree bit-for-bit with the copying functions: the golden
+// outputs pin medians computed through either path.
+func TestSorterMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s Sorter
+	for _, n := range []int{1, 2, 3, 17, 400} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*3 + 20
+		}
+		for _, p := range []float64{0, 1, 25, 50, 75, 99, 100, 33.3} {
+			want := Percentile(xs, p)
+			if got := s.Load(xs).Percentile(p); got != want {
+				t.Errorf("n=%d p=%v: Sorter %v != Percentile %v", n, p, got, want)
+			}
+		}
+		if got, want := s.Load(xs).Median(), Median(xs); got != want {
+			t.Errorf("n=%d: Sorter median %v != %v", n, got, want)
+		}
+		if got, want := s.Load(xs).Summarize(), Summarize(xs); got != want {
+			t.Errorf("n=%d: Sorter summary %+v != %+v", n, got, want)
+		}
+	}
+}
+
+func TestSorterEmptyAndReuse(t *testing.T) {
+	var s Sorter
+	if s.Percentile(50) != 0 || s.Median() != 0 {
+		t.Error("empty sorter must report 0")
+	}
+	// Incremental fill matches Load.
+	s.Reset()
+	for _, v := range []float64{5, 1, 3} {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("incremental median = %v, want 3", got)
+	}
+	// A later Add after a sorted read re-sorts.
+	s.Add(100)
+	s.Add(101)
+	if got := s.Median(); got != 5 {
+		t.Errorf("median after growth = %v, want 5", got)
+	}
+	// Loading a shorter input must drop the old tail entirely.
+	if got := s.Load([]float64{9}).Median(); got != 9 || s.Len() != 1 {
+		t.Errorf("reload = %v (len %d), want 9 (len 1)", got, s.Len())
+	}
+	// Load must not modify its input.
+	in := []float64{3, 1, 2}
+	s.Load(in).Median()
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Load mutated its input: %v", in)
+	}
+}
+
+// The point of the Sorter: repeated loads reuse one buffer.
+func TestSorterDoesNotAllocateSteadyState(t *testing.T) {
+	xs := make([]float64, 512)
+	for i := range xs {
+		xs[i] = float64(i * 7 % 311)
+	}
+	var s Sorter
+	s.Load(xs) // warm the buffer
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Load(xs)
+		s.Summarize()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Load+Summarize allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,76 @@
+package system
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Pool recycles Machines across trials. Building the Table 1 platform
+// allocates tens of megabytes (sliced LLC arrays, private L2s, the mesh
+// route tables); sweep loops that construct a fresh machine per trial pay
+// that in full every iteration. A Pool hands back a previously built
+// machine restored to cold state by Machine.Reset, which is bit-for-bit
+// equivalent to New — pooled and fresh trials produce identical output.
+//
+// A nil *Pool is valid and never pools: Get constructs and Put discards,
+// so call sites can thread an optional pool without branching.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Machine
+}
+
+// Get returns a machine built from cfg: a recycled one (Reset to
+// cfg.Seed) when a compatible machine is available, a fresh New(cfg)
+// otherwise. Two configurations are compatible when they differ at most
+// in Seed — everything else (topology, model constants, quantum) shapes
+// allocated structure that Reset preserves rather than rebuilds.
+func (p *Pool) Get(cfg Config) *Machine {
+	if p == nil {
+		return New(cfg)
+	}
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		m := p.free[i]
+		if compatibleConfig(m.cfg, cfg) {
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			m.Reset(cfg.Seed)
+			return m
+		}
+	}
+	p.mu.Unlock()
+	return New(cfg)
+}
+
+// Put returns a machine to the pool for reuse. The machine must not be
+// used by the caller afterwards; it is reset on its way back out of Get.
+// Putting nil is a no-op, as is putting into a nil pool.
+func (p *Pool) Put(m *Machine) {
+	if p == nil || m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, m)
+	p.mu.Unlock()
+}
+
+// Size returns the number of idle machines held.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// compatibleConfig reports whether a machine built from a can serve a
+// request for b after a Reset — i.e. the configurations are equal once
+// the seed (the one thing Reset replaces) is normalised away.
+func compatibleConfig(a, b Config) bool {
+	a.Seed, b.Seed = 0, 0
+	return reflect.DeepEqual(a, b)
+}

@@ -173,6 +173,12 @@ type Machine struct {
 	sockets []*Socket
 	threads []*Thread
 	faults  Faults
+
+	// quantumTick and epochTick are the machine's two schedule entries,
+	// held by value so Reset can re-register the identical tickers (same
+	// order, same priorities) on the cleared engine.
+	quantumTick sim.Ticker
+	epochTick   sim.Ticker
 }
 
 // SetFaults installs (or, with nil, removes) the machine-level fault
@@ -219,19 +225,64 @@ func New(cfg Config) *Machine {
 	// The per-quantum workload step runs before anything else at a
 	// shared instant; governors run last so an epoch decision sees all
 	// of its quanta.
-	m.engine.Add(&sim.Ticker{
+	m.quantumTick = sim.Ticker{
 		Name:     "quantum",
 		Period:   cfg.Quantum,
 		Priority: 0,
 		Fn:       m.stepQuantum,
-	})
-	m.engine.Add(&sim.Ticker{
+	}
+	m.epochTick = sim.Ticker{
 		Name:     "ufs-epoch",
 		Period:   cfg.UFS.Epoch,
 		Priority: 10,
 		Fn:       m.stepEpoch,
-	})
+	}
+	m.engine.Add(&m.quantumTick)
+	m.engine.Add(&m.epochTick)
 	return m
+}
+
+// Reset restores the machine to the cold state New(cfg) builds, with the
+// seed replaced, reusing every allocated structure in place: the engine
+// restarts at time zero with only the quantum and epoch tickers (extra
+// samplers registered through Engine() are dropped), all threads are
+// removed, caches and mesh load return to cold state, MSR files to their
+// power-on defaults, governors to the idle operating point with fresh
+// split random streams, and the fault hook is cleared. The random streams
+// are re-derived in New's exact consumption order, so a reset machine is
+// bit-for-bit indistinguishable from a freshly constructed one — the
+// contract the trial pool and the determinism tests rely on.
+//
+// A bound context or step budget does not survive Reset; callers that
+// supervise the machine must re-Bind.
+func (m *Machine) Reset(seed uint64) {
+	m.cfg.Seed = seed
+	m.engine.Reset()
+	m.rng = sim.NewRand(seed)
+	m.faults = nil
+	for i := range m.threads {
+		m.threads[i] = nil
+	}
+	m.threads = m.threads[:0]
+	for i, s := range m.sockets {
+		s.Hier.Reset()
+		s.Mesh.Reset()
+		s.MSR.Reset()
+		// The governor split replays New's per-socket rng consumption; the
+		// MSR reset above must precede it so the initial operating point
+		// clamps against the default ratio limit, as in NewGovernor.
+		s.Gov.Reset(m.rng.Split(uint64(1000 + i)))
+		for _, c := range s.Cores {
+			c.Reset()
+			c.Freq = m.cfg.CoreFreq
+		}
+		clear(s.busy)
+		s.peerFreqs = s.peerFreqs[:0]
+		s.epochLLC, s.epochPressure = 0, 0
+		s.quantumPower = 0
+	}
+	m.engine.Add(&m.quantumTick)
+	m.engine.Add(&m.epochTick)
 }
 
 // Config returns the machine configuration.
@@ -296,6 +347,25 @@ func (t *Thread) SetWorkload(w Workload) { t.w = w }
 
 // Stop removes the thread from scheduling permanently.
 func (t *Thread) Stop() { t.stopped = true }
+
+// Reap drops stopped threads from the scheduler's list, preserving the
+// spawn order of the live ones. Stopped threads are skipped by every
+// scheduling decision already, so reaping never changes behaviour — it
+// only keeps the thread list (and the per-quantum skip work) from
+// growing without bound in sessions that spawn and stop threads per
+// transmission.
+func (m *Machine) Reap() {
+	live := m.threads[:0]
+	for _, t := range m.threads {
+		if !t.stopped {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(m.threads); i++ {
+		m.threads[i] = nil
+	}
+	m.threads = live
+}
 
 // Spawn pins a new thread running w to the given socket and core. Threads
 // step in spawn order within a quantum; spawn traffic sources before

@@ -20,11 +20,39 @@ type Sample struct {
 type Series struct {
 	Name    string
 	Samples []Sample
+	// KeepEvery, when ≥ 2, downsamples on the way in: Add retains the
+	// first of every KeepEvery observations and drops the rest. Long
+	// recordings (a multi-minute transmission sampled every 200 µs)
+	// keep a bounded sketch of the trace instead of every point. 0 and
+	// 1 keep everything.
+	KeepEvery int
+
+	seen int // observations offered to Add, including dropped ones
 }
 
-// Add appends an observation.
+// Add appends an observation, subject to KeepEvery downsampling.
 func (s *Series) Add(at sim.Time, v float64) {
+	if s.KeepEvery >= 2 {
+		keep := s.seen%s.KeepEvery == 0
+		s.seen++
+		if !keep {
+			return
+		}
+	}
 	s.Samples = append(s.Samples, Sample{At: at, Value: v})
+}
+
+// Reserve grows the sample buffer to hold at least n samples without
+// further allocation, so a sampler whose run length is known up front
+// (settle+window over a fixed period) fills a single allocation instead
+// of growing through append doublings.
+func (s *Series) Reserve(n int) {
+	if cap(s.Samples)-len(s.Samples) >= n {
+		return
+	}
+	grown := make([]Sample, len(s.Samples), len(s.Samples)+n)
+	copy(grown, s.Samples)
+	s.Samples = grown
 }
 
 // Values returns just the observed values, in order.

@@ -68,3 +68,98 @@ func TestWriteTSVLengthMismatch(t *testing.T) {
 		t.Error("zero series should be a no-op")
 	}
 }
+
+func TestReserveAvoidsRegrowth(t *testing.T) {
+	s := &Series{}
+	s.Reserve(100)
+	if cap(s.Samples) < 100 {
+		t.Fatalf("cap after Reserve = %d, want >= 100", cap(s.Samples))
+	}
+	before := cap(s.Samples)
+	for i := 0; i < 100; i++ {
+		s.Add(sim.Time(i)*sim.Millisecond, float64(i))
+	}
+	if cap(s.Samples) != before {
+		t.Errorf("buffer regrew (%d -> %d) despite Reserve", before, cap(s.Samples))
+	}
+	// Reserving less than the free space is a no-op.
+	s.Reserve(0)
+	if cap(s.Samples) != before {
+		t.Error("no-op Reserve reallocated")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Samples = s.Samples[:0]
+		for i := 0; i < 100; i++ {
+			s.Add(sim.Time(i)*sim.Millisecond, float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reserved series allocates %.1f/op on refill, want 0", allocs)
+	}
+}
+
+// ramp is a piecewise-monotone test signal: long rising and falling
+// segments, like an uncore frequency trace stepping between plateaus.
+func ramp(i int) float64 {
+	const period = 40
+	ph := i % period
+	if ph < period/2 {
+		return float64(ph)
+	}
+	return float64(period - ph)
+}
+
+// TestKeepEveryEnvelope checks the downsampling contract: every k-th
+// observation is retained verbatim, and — because the signal's monotone
+// segments are longer than k — every dropped sample is bracketed by the
+// envelope of its two retained neighbours. Downsampling a frequency
+// trace for storage must not invent values outside the real excursion.
+func TestKeepEveryEnvelope(t *testing.T) {
+	const n, k = 400, 5
+	full := &Series{}
+	down := &Series{KeepEvery: k}
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 200 * sim.Microsecond
+		full.Add(at, ramp(i))
+		down.Add(at, ramp(i))
+	}
+	want := (n + k - 1) / k
+	if len(down.Samples) != want {
+		t.Fatalf("downsampled to %d samples, want %d", len(down.Samples), want)
+	}
+	for j, smp := range down.Samples {
+		orig := full.Samples[j*k]
+		if smp != orig {
+			t.Fatalf("retained sample %d = %+v, want original %+v", j, smp, orig)
+		}
+	}
+	// Envelope bracketing: each dropped original sample lies within the
+	// value range of the retained samples surrounding it.
+	last := (len(down.Samples) - 1) * k
+	for i, smp := range full.Samples {
+		if i%k == 0 || i > last {
+			// Retained verbatim, or past the final retained sample
+			// (no right bracket exists for the tail).
+			continue
+		}
+		loIdx, hiIdx := i/k, i/k+1
+		lo, hi := down.Samples[loIdx].Value, down.Samples[hiIdx].Value
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if smp.Value < lo || smp.Value > hi {
+			t.Errorf("dropped sample %d (%.1f) outside retained envelope [%.1f, %.1f]",
+				i, smp.Value, lo, hi)
+		}
+	}
+	// KeepEvery 0 and 1 keep everything.
+	for _, k := range []int{0, 1} {
+		s := &Series{KeepEvery: k}
+		for i := 0; i < 10; i++ {
+			s.Add(sim.Time(i), float64(i))
+		}
+		if len(s.Samples) != 10 {
+			t.Errorf("KeepEvery=%d kept %d/10 samples", k, len(s.Samples))
+		}
+	}
+}

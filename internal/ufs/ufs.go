@@ -203,6 +203,23 @@ func NewGovernor(params Params, file *msr.File, rng *sim.Rand) *Governor {
 	return g
 }
 
+// Reset returns the governor to the state NewGovernor built, replacing
+// its random stream with rng and removing any fault hook. The caller must
+// reset the shared MSR file first: the initial operating point is clamped
+// to the file's current ratio limit, exactly as in NewGovernor.
+func (g *Governor) Reset(rng *sim.Rand) {
+	g.rng = rng
+	g.fault = nil
+	rl := g.file.Ratio()
+	g.cur = g.params.IdleHigh.Clamp(rl.Min, rl.Max)
+	g.dither = false
+	g.slowCredit = 0
+	g.pc = 0
+	g.epochs = 0
+	g.held = 0
+	g.statScratch = EpochStats{}
+}
+
 // Params returns the governor constants.
 func (g *Governor) Params() Params { return g.params }
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Benchmark delta gate: diffs two normalized BENCH_*.json reports and
+# fails when a gated registry case regresses past the tolerances
+# (>15% ns/op or >10% bytes/op over baseline by default). The optional
+# third argument persists the delta as a JSON artifact — CI uploads it
+# alongside the BENCH_<date>.json it gates.
+#
+# Usage:
+#   scripts/bench_compare.sh BASELINE.json CURRENT.json [DELTA_OUT.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: scripts/bench_compare.sh BASELINE.json CURRENT.json [DELTA_OUT.json]" >&2
+    exit 2
+fi
+
+baseline=$1
+current=$2
+
+if [ "$#" -eq 3 ]; then
+    go run ./cmd/ufsim bench compare -out "$3" "$baseline" "$current"
+else
+    go run ./cmd/ufsim bench compare "$baseline" "$current"
+fi
