@@ -35,6 +35,18 @@
 //
 //	ufsim bench                 full run, including quick experiment trials
 //	ufsim bench -short          hot-path cases only (the CI gate)
+//
+// The serve and worker subcommands distribute a sweep across machines
+// over a lease/heartbeat protocol (see DESIGN.md "Distributed sweep
+// protocol"):
+//
+//	ufsim serve -addr :7733 -experiment all -artifacts DIR
+//	ufsim worker -coordinator http://sweep-host:7733
+//	ufsim serve -loopback 4 -quick      hermetic in-process fleet
+//
+// Exit codes everywhere: 0 success, 1 completed with failures, 2 usage
+// error, 3 aborted by signal (SIGINT and SIGTERM are handled alike:
+// first signal drains, second aborts).
 package main
 
 import (
@@ -52,14 +64,30 @@ import (
 	"repro/internal/runner"
 )
 
+// Exit codes, uniform across subcommands: 0 success, 1 completed with
+// failures (failed, quarantined, or unfinished units), 2 usage error,
+// 3 aborted by signal.
+const (
+	exitOK       = 0
+	exitFailures = 1
+	exitUsage    = 2
+	exitSignal   = 3
+)
+
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "reliability" {
-		reliabilityCmd(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		benchCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "reliability":
+			reliabilityCmd(os.Args[2:])
+			return
+		case "bench":
+			benchCmd(os.Args[2:])
+			return
+		case "serve":
+			os.Exit(serveCmd(os.Args[2:]))
+		case "worker":
+			os.Exit(workerCmd(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
 }
@@ -84,12 +112,12 @@ func run() int {
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
-			return 1
+			return exitFailures
 		}
 	}
 	if *resume && *artifacts == "" {
 		fmt.Fprintln(os.Stderr, "ufsim: -resume needs -artifacts (the manifest lives there)")
-		return 2
+		return exitUsage
 	}
 
 	if *list || *id == "" {
@@ -110,7 +138,7 @@ func run() int {
 		e, ok := experiments.Get(*id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ufsim: unknown experiment %q (use -list)\n", *id)
-			return 2
+			return exitUsage
 		}
 		exps = []experiments.Experiment{e}
 	}
@@ -135,7 +163,7 @@ func run() int {
 	sum, err := runner.Run(ctx, cfg, exps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ufsim: %v\n", err)
-		return 1
+		return exitFailures
 	}
 
 	if len(exps) > 1 || sum.Failed > 0 || sum.Skipped > 0 {
@@ -148,15 +176,15 @@ func run() int {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "ufsim: sweep interrupted")
-		return 1
+		return exitSignal
 	}
 	if sum.Failed > 0 {
 		if *artifacts != "" {
 			fmt.Fprintf(os.Stderr, "ufsim: re-run only the failures with: ufsim -experiment %s -artifacts %s -resume\n", *id, *artifacts)
 		}
-		return 1
+		return exitFailures
 	}
-	return 0
+	return exitOK
 }
 
 // emit renders one finished experiment: to stdout, and — for successful

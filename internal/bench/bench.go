@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/sim"
+	"repro/internal/sweepd"
 	"repro/internal/system"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -93,6 +95,7 @@ func Cases() []Case {
 		{Name: "machine-epoch", ZeroAlloc: true, Fn: benchMachineEpoch},
 		{Name: "trial-sync-quick", Trial: true, Long: true, Fn: benchTrialSync},
 		{Name: "trial-rel-quick", Trial: true, Long: true, Fn: benchTrialRel},
+		{Name: "sweepd-loopback", Long: true, Fn: benchSweepdLoopback},
 	}
 }
 
@@ -297,3 +300,40 @@ func benchTrial(b *testing.B, id string) {
 
 func benchTrialSync(b *testing.B) { benchTrial(b, "sync") }
 func benchTrialRel(b *testing.B)  { benchTrial(b, "rel") }
+
+// benchSweepdLoopback load-tests the distributed-sweep coordination
+// path: one op is a whole 64-unit sweep pushed through the coordinator
+// by four loopback workers with trivial unit bodies, so the number is
+// pure protocol overhead — lease grants, heartbeat bookkeeping,
+// completion merges, and state transitions — not experiment time.
+func benchSweepdLoopback(b *testing.B) {
+	units := make([]sweepd.Unit, 64)
+	for i := range units {
+		units[i] = sweepd.Unit{
+			ID: sweepd.UnitID(fmt.Sprintf("u%03d", i)), Experiment: "bench",
+			Seed: uint64(i), Quick: true,
+		}
+	}
+	run := func(ctx context.Context, u sweepd.Unit, progress func(string)) sweepd.UnitResult {
+		progress("tick")
+		return sweepd.UnitResult{OK: true, Result: "ok"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sweepd.NewCoordinator(sweepd.CoordinatorConfig{}, units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepd.RunFleet(context.Background(), c, sweepd.FleetConfig{
+			Workers: 4, Jobs: 4,
+			NewRunner: func(string) sweepd.UnitRunner { return run },
+			PollMax:   10 * time.Millisecond,
+		})
+		select {
+		case <-c.Done():
+		default:
+			b.Fatal("sweep incomplete")
+		}
+	}
+}

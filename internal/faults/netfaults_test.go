@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// drawSeq pulls n verdicts for worker from p, stepping the worker's
+// clock the same way regardless of how calls from other workers
+// interleave.
+func drawSeq(p *NetPlan, worker string, n int) []NetVerdict {
+	base := time.Unix(0, 0)
+	out := make([]NetVerdict, n)
+	for i := range out {
+		out[i] = p.Next(worker, base.Add(time.Duration(i)*10*time.Millisecond))
+	}
+	return out
+}
+
+// TestNetPlanDeterministicPerWorker: a worker's verdict sequence depends
+// only on (seed, worker ID, call index) — interleaving calls from other
+// workers must not perturb it.
+func TestNetPlanDeterministicPerWorker(t *testing.T) {
+	cfg := DefaultNetConfig(0.8)
+	base := time.Unix(0, 0)
+
+	// p1: w1 and w2 strictly interleaved.
+	p1 := NewNetPlan(cfg, 42)
+	const n = 200
+	seq1 := map[string][]NetVerdict{}
+	for i := 0; i < n; i++ {
+		at := base.Add(time.Duration(i) * 10 * time.Millisecond)
+		seq1["w1"] = append(seq1["w1"], p1.Next("w1", at))
+		seq1["w2"] = append(seq1["w2"], p1.Next("w2", at))
+	}
+
+	// p2: same seed, all of w1 drained before w2 starts.
+	p2 := NewNetPlan(cfg, 42)
+	for _, w := range []string{"w1", "w2"} {
+		got := drawSeq(p2, w, n)
+		for i, v := range got {
+			if v != seq1[w][i] {
+				t.Fatalf("%s verdict %d differs across interleavings: %+v vs %+v", w, i, v, seq1[w][i])
+			}
+		}
+	}
+
+	// Distinct workers get distinct streams.
+	same := true
+	for i := range seq1["w1"] {
+		if seq1["w1"][i] != seq1["w2"][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("w1 and w2 drew identical verdict streams")
+	}
+}
+
+// TestNetPlanKillSchedule: the kill draw is per-worker deterministic and
+// lands in [n/2, 3n/2) around the configured mean.
+func TestNetPlanKillSchedule(t *testing.T) {
+	cfg := NetConfig{KillEveryUnits: 8}
+	p1 := NewNetPlan(cfg, 7)
+	p2 := NewNetPlan(cfg, 7)
+	for _, w := range []string{"a", "b", "c"} {
+		k1, k2 := p1.KillAfterUnits(w), p2.KillAfterUnits(w)
+		if k1 != k2 {
+			t.Fatalf("%s kill draw not deterministic: %d vs %d", w, k1, k2)
+		}
+		if k1 < 4 || k1 >= 12 {
+			t.Fatalf("%s kill draw %d outside [4, 12)", w, k1)
+		}
+	}
+	if NewNetPlan(NetConfig{}, 7).KillAfterUnits("a") != 0 {
+		t.Fatal("zero config scheduled a kill")
+	}
+}
+
+// TestNetPlanZeroConfigInjectsNothing: the zero NetConfig is a no-op
+// transport.
+func TestNetPlanZeroConfigInjectsNothing(t *testing.T) {
+	p := NewNetPlan(NetConfig{}, 1)
+	for i, v := range drawSeq(p, "w", 500) {
+		if v != (NetVerdict{}) {
+			t.Fatalf("zero config injected %+v at call %d", v, i)
+		}
+	}
+	st := p.Stats()
+	if st.Calls != 500 || st.DroppedRequests+st.DroppedResponses+st.Duplicates+st.Delayed+st.Partitions != 0 {
+		t.Fatalf("zero config stats: %+v", st)
+	}
+}
+
+// TestNetPlanPartitionWindow: once a partition opens, every call from
+// that worker inside the window is dropped before delivery, and calls
+// after the window flow again.
+func TestNetPlanPartitionWindow(t *testing.T) {
+	cfg := NetConfig{PartitionProb: 1.0, PartitionFor: 150 * time.Millisecond}
+	p := NewNetPlan(cfg, 3)
+	base := time.Unix(0, 0)
+
+	if v := p.Next("w", base); !v.DropRequest {
+		t.Fatalf("partition open call not dropped: %+v", v)
+	}
+	for _, dt := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, 149 * time.Millisecond} {
+		if v := p.Next("w", base.Add(dt)); !v.DropRequest {
+			t.Fatalf("call at +%v inside window not dropped: %+v", dt, v)
+		}
+	}
+	// Past the window the next call re-rolls; with PartitionProb 1 it
+	// opens a fresh window (still a drop), but the old one was cleared —
+	// verify via stats that exactly two windows opened.
+	p.Next("w", base.Add(200*time.Millisecond))
+	st := p.Stats()
+	if st.Partitions != 2 {
+		t.Fatalf("expected 2 partition windows, got %+v", st)
+	}
+	if st.PartitionedCalls != 5 {
+		t.Fatalf("expected 5 partitioned calls, got %+v", st)
+	}
+
+	// DefaultNetConfig(0) must never partition.
+	q := NewNetPlan(DefaultNetConfig(0), 3)
+	for i := 0; i < 200; i++ {
+		if v := q.Next("w", base.Add(time.Duration(i)*time.Millisecond)); v != (NetVerdict{}) {
+			t.Fatalf("intensity 0 injected %+v", v)
+		}
+	}
+}

@@ -109,7 +109,10 @@ func (m *manifest) record(rep Report) error {
 
 // WriteFileAtomic writes a file via a temp file in the same directory
 // and a rename, so readers never observe a truncated file and a failed
-// write leaves no partial artifact behind.
+// write leaves no partial artifact behind. The temp file is fsynced
+// before the rename: without it, a machine crash in the window between
+// rename and writeback could leave the *final* name holding empty or
+// torn content — precisely the state resume must never trust.
 func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
@@ -128,6 +131,9 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 		}
 	}()
 	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		return err
 	}
 	if err := tmp.Close(); err != nil {

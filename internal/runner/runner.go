@@ -99,6 +99,12 @@ type Config struct {
 
 	// Log receives the runner's progress lines; nil discards them.
 	Log io.Writer
+	// Progress, when non-nil, additionally receives each run's log
+	// lines (the experiment's sweep checkpoints) in real time. The
+	// distributed worker (internal/sweepd) streams them to the
+	// coordinator as heartbeat notes. Must be safe for concurrent
+	// writes when Jobs > 1.
+	Progress io.Writer
 	// OnResult, when non-nil, observes each report as its experiment
 	// finishes (serialized; safe to render from).
 	OnResult func(Report)
@@ -291,6 +297,26 @@ func Run(ctx context.Context, cfg Config, exps []experiments.Experiment) (Summar
 	return sum, nil
 }
 
+// RunOne executes a single experiment through the full supervision path
+// — per-attempt deadline, panic isolation, bounded reseeding retries,
+// and crash-artifact capture — outside a sweep. The distributed worker
+// (internal/sweepd) runs each leased unit through it, so one work unit
+// gets exactly the resilience a sweep slot gets. pool may be nil (a
+// fresh machine per trial) or shared across a worker's units.
+func RunOne(ctx context.Context, cfg Config, e experiments.Experiment, pool *system.Pool) Report {
+	if cfg.Grace <= 0 {
+		cfg.Grace = 2 * time.Second
+	}
+	if cfg.Reseed == nil {
+		cfg.Reseed = DefaultReseed
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	return supervise(ctx, cfg, e, logw, pool)
+}
+
 // supervise runs one experiment through the full attempt loop: deadline,
 // panic recovery, bounded reseeding retries, and crash-artifact capture.
 func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw io.Writer, pool *system.Pool) Report {
@@ -360,11 +386,15 @@ func attempt1(ctx context.Context, cfg Config, e experiments.Experiment, seed ui
 	}
 	defer cancel()
 
+	var runlog io.Writer = rlog
+	if cfg.Progress != nil {
+		runlog = io.MultiWriter(rlog, cfg.Progress)
+	}
 	opts := experiments.Options{
 		Seed:           seed,
 		Quick:          cfg.Quick,
 		Context:        actx,
-		Log:            rlog,
+		Log:            runlog,
 		MaxEngineSteps: cfg.MaxEngineSteps,
 		Machines:       pool,
 	}

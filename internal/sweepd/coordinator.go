@@ -1,0 +1,579 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// CoordinatorConfig tunes lease and quarantine policy.
+type CoordinatorConfig struct {
+	// LeaseTTL bounds how long a granted lease lives without a
+	// heartbeat; zero means 30s.
+	LeaseTTL time.Duration
+	// ExpiryBudget caps how many times a unit's lease may expire before
+	// the unit is quarantined; zero means 5. (A voluntary release does
+	// not charge the budget.)
+	ExpiryBudget int
+	// QuarantineAfter is how many distinct workers must report a
+	// failure before the unit is quarantined as poison; zero means 3.
+	// The same worker failing twice counts once — a poison unit is one
+	// that kills *anyone* who runs it, not one colocated with a bad
+	// host.
+	QuarantineAfter int
+	// RetryBase is the base of the exponential backoff applied before
+	// an expired or failed unit becomes leasable again; each
+	// reassignment waits base·2^(n-1) plus a jitter drawn from
+	// [0, RetryJitter). Zero means 500ms base with 250ms jitter.
+	RetryBase   time.Duration
+	RetryJitter time.Duration
+	// Seed feeds the jitter stream, keeping reassignment schedules
+	// reproducible in tests.
+	Seed uint64
+	// Clock supplies time; nil means the wall clock.
+	Clock Clock
+	// StateDir, when non-empty, receives the crash-proof sweep state
+	// (sweep-state.json), per-unit crash/quarantine artifacts, and the
+	// merged manifest (manifest.json). Empty keeps everything in
+	// memory.
+	StateDir string
+	// Resume loads StateDir's sweep-state.json and keeps terminal
+	// outcomes whose unit grid matches; in-flight leases from the dead
+	// coordinator revert to pending without charging budgets.
+	Resume bool
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.ExpiryBudget <= 0 {
+		c.ExpiryBudget = 5
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 500 * time.Millisecond
+		if c.RetryJitter <= 0 {
+			c.RetryJitter = 250 * time.Millisecond
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// UnitFailure is one recorded failure of a unit on one worker.
+type UnitFailure struct {
+	Worker   string `json:"worker"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// unitRecord is the coordinator's book entry for one unit.
+type unitRecord struct {
+	unit  Unit
+	state UnitState
+
+	// epoch is the fencing token, bumped on every (re)lease; worker and
+	// expiry describe the live lease.
+	epoch  uint64
+	worker string
+	expiry time.Time
+
+	// eligible gates re-leasing after an expiry or failure (backoff).
+	eligible time.Time
+
+	heartbeats int
+	progress   string
+
+	expiries int
+	failures []UnitFailure
+	// distinct is the set of workers in failures.
+	distinct map[string]bool
+
+	// merged marks that exactly one completion was accepted; completions
+	// counts accepted merges (must never exceed 1 — exposed to tests).
+	merged      bool
+	completions int
+	result      string
+	attempts    int
+	durationMS  int64
+	// quarantine is the reason string for quarantined units.
+	quarantine string
+}
+
+// Coordinator shards a sweep into units and arbitrates leases. All
+// methods are safe for concurrent use; expired leases are reaped lazily
+// at the top of every call, so no background goroutine is needed and a
+// manual clock drives the full state machine in tests.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu       sync.Mutex
+	units    map[UnitID]*unitRecord
+	order    []UnitID
+	rng      *sim.Rand
+	draining bool
+	// doneCh closes when every unit is terminal.
+	doneCh   chan struct{}
+	doneOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator over the unit grid. With
+// cfg.Resume set and a matching sweep-state.json in cfg.StateDir,
+// terminal outcomes are restored so only unfinished units run.
+func NewCoordinator(cfg CoordinatorConfig, units []Unit) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		units:  make(map[UnitID]*unitRecord, len(units)),
+		rng:    sim.NewRand(cfg.Seed ^ 0x5eedd),
+		doneCh: make(chan struct{}),
+	}
+	for _, u := range units {
+		if _, dup := c.units[u.ID]; dup {
+			return nil, fmt.Errorf("sweepd: duplicate unit id %q", u.ID)
+		}
+		c.units[u.ID] = &unitRecord{unit: u, state: UnitPending, distinct: map[string]bool{}}
+		c.order = append(c.order, u.ID)
+	}
+	if cfg.Resume && cfg.StateDir != "" {
+		restored, err := c.restoreState()
+		if err != nil {
+			return nil, err
+		}
+		if restored > 0 {
+			fmt.Fprintf(cfg.Log, "sweepd: resumed %d terminal unit(s) from %s\n", restored, cfg.StateDir)
+		}
+	}
+	c.mu.Lock()
+	c.checkDoneLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Lease grants up to req.Max pending units to req.Worker.
+func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	if c.draining {
+		return LeaseResponse{Draining: true, Done: c.allTerminalLocked()}
+	}
+	if c.allTerminalLocked() {
+		return LeaseResponse{Done: true}
+	}
+	max := req.Max
+	if max < 1 {
+		max = 1
+	}
+	var resp LeaseResponse
+	nextEligible := time.Time{}
+	for _, id := range c.order {
+		if len(resp.Units) >= max {
+			break
+		}
+		r := c.units[id]
+		if r.state != UnitPending {
+			continue
+		}
+		if r.eligible.After(now) {
+			if nextEligible.IsZero() || r.eligible.Before(nextEligible) {
+				nextEligible = r.eligible
+			}
+			continue
+		}
+		r.epoch++
+		r.state = UnitLeased
+		r.worker = req.Worker
+		r.expiry = now.Add(c.cfg.LeaseTTL)
+		r.heartbeats = 0
+		resp.Units = append(resp.Units, LeasedUnit{
+			Unit:      r.unit,
+			Epoch:     r.epoch,
+			TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		})
+	}
+	if len(resp.Units) == 0 {
+		// Nothing grantable right now: everything is leased out or in
+		// backoff. Hint a poll interval — the earliest backoff expiry,
+		// else a third of the TTL (the cadence at which a wedged lease
+		// can first be reaped).
+		retry := c.cfg.LeaseTTL / 3
+		if !nextEligible.IsZero() {
+			if d := nextEligible.Sub(now); d < retry {
+				retry = d
+			}
+		}
+		if retry < time.Millisecond {
+			retry = time.Millisecond
+		}
+		resp.RetryAfterMillis = retry.Milliseconds()
+	} else {
+		c.persistLocked()
+	}
+	return resp
+}
+
+// Heartbeat extends a live lease and records progress.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	r, ok := c.units[req.Unit]
+	if !ok {
+		return HeartbeatResponse{Abandon: true}
+	}
+	if r.state.Terminal() || r.epoch != req.Epoch || r.worker != req.Worker {
+		// Stale lease: the unit was reassigned (or finished) while this
+		// worker was partitioned or slow. Any completion it eventually
+		// sends will be fenced off, so tell it to stop now.
+		return HeartbeatResponse{Abandon: true}
+	}
+	if r.state == UnitPending {
+		// Reaped just above: the lease expired before this heartbeat
+		// arrived. The unit is already back in circulation.
+		return HeartbeatResponse{Abandon: true}
+	}
+	r.state = UnitHeartbeating
+	r.heartbeats++
+	if req.Note != "" {
+		r.progress = req.Note
+	}
+	r.expiry = now.Add(c.cfg.LeaseTTL)
+	return HeartbeatResponse{OK: true}
+}
+
+// Complete merges a unit outcome, exactly once per unit. Outcomes under
+// a stale epoch are rejected; redelivery of the merged outcome under the
+// merging epoch is acknowledged idempotently.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	r, ok := c.units[req.Unit]
+	if !ok {
+		return CompleteResponse{}
+	}
+	if r.state.Terminal() {
+		// Idempotent ack for the worker whose earlier delivery merged
+		// but whose response was lost; anyone else is fenced off.
+		return CompleteResponse{Accepted: r.epoch == req.Epoch && r.worker == req.Worker}
+	}
+	if r.epoch != req.Epoch || r.worker != req.Worker {
+		return CompleteResponse{}
+	}
+	// Note a pending unit can land here: its lease expired (reaped
+	// above) but it has not been re-leased, so the epoch still matches.
+	// The work is real and unduplicated — merge it.
+	if req.OK {
+		r.state = UnitDone
+		r.merged = true
+		r.completions++
+		r.result = req.Result
+		r.attempts = req.Attempts
+		r.durationMS = req.DurationMS
+		fmt.Fprintf(c.cfg.Log, "sweepd: %s done by %s (epoch %d, %d attempt(s))\n", r.unit.ID, req.Worker, req.Epoch, req.Attempts)
+		c.writeResultLocked(r)
+	} else {
+		// A redelivered failure (the worker's response was dropped and
+		// it retried under the same lease) must not double-count.
+		for _, f := range r.failures {
+			if f.Worker == req.Worker && f.Epoch == req.Epoch {
+				return CompleteResponse{Accepted: true}
+			}
+		}
+		r.failures = append(r.failures, UnitFailure{Worker: req.Worker, Epoch: req.Epoch, Error: req.Error, Attempts: req.Attempts})
+		r.distinct[req.Worker] = true
+		c.writeCrashLocked(r, req)
+		if len(r.distinct) >= c.cfg.QuarantineAfter {
+			c.quarantineLocked(r, fmt.Sprintf("failed on %d distinct worker(s)", len(r.distinct)))
+		} else {
+			// Back to pending behind a backoff window; the next lease
+			// bumps the epoch and fences this one off.
+			r.state = UnitPending
+			r.expiry = time.Time{}
+			c.benchLocked(r, now, len(r.failures))
+			fmt.Fprintf(c.cfg.Log, "sweepd: %s failed on %s (%d distinct worker(s)); retrying after backoff\n", r.unit.ID, req.Worker, len(r.distinct))
+		}
+	}
+	c.persistLocked()
+	c.checkDoneLocked()
+	return CompleteResponse{Accepted: true}
+}
+
+// Release voluntarily returns leases; stale epochs are ignored. A
+// released unit re-enters the pending pool immediately and without
+// charging the expiry budget — the worker is shutting down cleanly, not
+// misbehaving.
+func (c *Coordinator) Release(req ReleaseRequest) ReleaseResponse {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	var n int
+	for _, ue := range req.Units {
+		r, ok := c.units[ue.Unit]
+		if !ok || r.state.Terminal() || r.state == UnitPending {
+			continue
+		}
+		if r.epoch != ue.Epoch || r.worker != req.Worker {
+			continue
+		}
+		r.state = UnitPending
+		r.worker = ""
+		r.expiry = time.Time{}
+		r.eligible = now
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(c.cfg.Log, "sweepd: %s released %d lease(s) (%s)\n", req.Worker, n, req.Reason)
+		c.persistLocked()
+	}
+	return ReleaseResponse{Released: n}
+}
+
+// reapLocked expires overdue leases: the unit returns to pending behind
+// a jittered backoff, and a unit that has burned its expiry budget is
+// quarantined. Called with the lock held at the top of every API method.
+func (c *Coordinator) reapLocked(now time.Time) {
+	changed := false
+	for _, id := range c.order {
+		r := c.units[id]
+		if r.state != UnitLeased && r.state != UnitHeartbeating {
+			continue
+		}
+		if r.expiry.After(now) {
+			continue
+		}
+		changed = true
+		r.expiries++
+		fmt.Fprintf(c.cfg.Log, "sweepd: lease on %s by %s expired (%d/%d)\n", r.unit.ID, r.worker, r.expiries, c.cfg.ExpiryBudget)
+		if r.expiries >= c.cfg.ExpiryBudget {
+			c.quarantineLocked(r, fmt.Sprintf("lease expired %d time(s)", r.expiries))
+			continue
+		}
+		// The unit returns to pending but keeps its lease identity
+		// (worker, epoch): a slow-but-real completion from the expired
+		// holder still merges until a re-lease bumps the epoch and
+		// fences it off.
+		r.state = UnitPending
+		r.expiry = time.Time{}
+		c.benchLocked(r, now, r.expiries)
+	}
+	if changed {
+		c.persistLocked()
+		c.checkDoneLocked()
+	}
+}
+
+// benchLocked sidelines a unit for the nth backoff window:
+// base·2^(n-1) plus deterministic jitter.
+func (c *Coordinator) benchLocked(r *unitRecord, now time.Time, n int) {
+	if n < 1 {
+		n = 1
+	}
+	backoff := c.cfg.RetryBase << uint(n-1)
+	if c.cfg.RetryJitter > 0 {
+		backoff += time.Duration(c.rng.IntN(int(c.cfg.RetryJitter)))
+	}
+	r.eligible = now.Add(backoff)
+}
+
+// quarantineLocked retires a poison unit, preserving its failure
+// history as an artifact.
+func (c *Coordinator) quarantineLocked(r *unitRecord, reason string) {
+	r.state = UnitQuarantined
+	r.quarantine = reason
+	r.worker = ""
+	r.expiry = time.Time{}
+	fmt.Fprintf(c.cfg.Log, "sweepd: QUARANTINED %s: %s\n", r.unit.ID, reason)
+	c.writeQuarantineLocked(r)
+}
+
+// Drain stops granting leases; in-flight units may still complete (or
+// expire). Workers observe Draining on their next lease poll and exit.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.draining {
+		c.draining = true
+		fmt.Fprintln(c.cfg.Log, "sweepd: draining — no new leases")
+	}
+}
+
+// Quiesced reports whether no lease is live (every unit is terminal or
+// pending); a draining coordinator can shut down once quiesced.
+func (c *Coordinator) Quiesced() bool {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	for _, r := range c.units {
+		if r.state == UnitLeased || r.state == UnitHeartbeating {
+			return false
+		}
+	}
+	return true
+}
+
+// Done returns a channel closed when every unit is terminal.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Wait blocks until the sweep finishes or ctx is done. Polling drives
+// the lazy reaper so even a sweep whose workers all vanished terminates
+// (by expiry, then quarantine).
+func (c *Coordinator) Wait(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		select {
+		case <-c.doneCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		// Reap under the current clock, then sleep a poll interval.
+		c.Quiesced()
+		select {
+		case <-c.doneCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := c.cfg.Clock.Sleep(ctx, poll); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *Coordinator) allTerminalLocked() bool {
+	for _, r := range c.units {
+		if !r.state.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Coordinator) checkDoneLocked() {
+	if c.allTerminalLocked() {
+		c.doneOnce.Do(func() {
+			if err := c.writeManifestLocked(); err != nil {
+				fmt.Fprintf(c.cfg.Log, "sweepd: warning: merged manifest not written: %v\n", err)
+			}
+			close(c.doneCh)
+		})
+	}
+}
+
+// UnitStatus is one unit's externally visible state.
+type UnitStatus struct {
+	Unit        Unit          `json:"unit"`
+	State       UnitState     `json:"state"`
+	Worker      string        `json:"worker,omitempty"`
+	Epoch       uint64        `json:"epoch,omitempty"`
+	Heartbeats  int           `json:"heartbeats,omitempty"`
+	Progress    string        `json:"progress,omitempty"`
+	Expiries    int           `json:"expiries,omitempty"`
+	Failures    []UnitFailure `json:"failures,omitempty"`
+	Completions int           `json:"completions,omitempty"`
+	Attempts    int           `json:"attempts,omitempty"`
+	Quarantine  string        `json:"quarantine,omitempty"`
+}
+
+// Status is the sweep snapshot served at /v1/status.
+type Status struct {
+	Pending     int          `json:"pending"`
+	Leased      int          `json:"leased"`
+	Done        int          `json:"done"`
+	Quarantined int          `json:"quarantined"`
+	Draining    bool         `json:"draining,omitempty"`
+	Units       []UnitStatus `json:"units"`
+}
+
+// Snapshot returns the current sweep status, reaping first so the view
+// is current under the configured clock.
+func (c *Coordinator) Snapshot() Status {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	st := Status{Draining: c.draining}
+	for _, id := range c.order {
+		r := c.units[id]
+		switch r.state {
+		case UnitPending:
+			st.Pending++
+		case UnitLeased, UnitHeartbeating:
+			st.Leased++
+		case UnitDone:
+			st.Done++
+		case UnitQuarantined:
+			st.Quarantined++
+		}
+		st.Units = append(st.Units, UnitStatus{
+			Unit:        r.unit,
+			State:       r.state,
+			Worker:      r.worker,
+			Epoch:       r.epoch,
+			Heartbeats:  r.heartbeats,
+			Progress:    r.progress,
+			Expiries:    r.expiries,
+			Failures:    append([]UnitFailure(nil), r.failures...),
+			Completions: r.completions,
+			Attempts:    r.attempts,
+			Quarantine:  r.quarantine,
+		})
+	}
+	return st
+}
+
+// Result returns a done unit's rendered output.
+func (c *Coordinator) Result(id UnitID) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.units[id]
+	if !ok || r.state != UnitDone {
+		return "", false
+	}
+	return r.result, true
+}
+
+// StatusJSON renders the snapshot, for the HTTP status endpoint.
+func (c *Coordinator) StatusJSON() ([]byte, error) {
+	return json.MarshalIndent(c.Snapshot(), "", "  ")
+}
+
+// sortedIDs returns unit IDs in grid order (stable across runs).
+func (c *Coordinator) sortedIDs() []UnitID {
+	ids := append([]UnitID(nil), c.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,124 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NewServer exposes the coordinator over HTTP/JSON: the four protocol
+// POSTs plus a human-facing GET /v1/status. Handlers are thin — all
+// semantics (reaping, fencing, idempotency) live in the Coordinator, so
+// the HTTP and loopback transports cannot drift apart.
+func NewServer(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", jsonHandler(c.Lease))
+	mux.HandleFunc("POST /v1/heartbeat", jsonHandler(c.Heartbeat))
+	mux.HandleFunc("POST /v1/complete", jsonHandler(c.Complete))
+	mux.HandleFunc("POST /v1/release", jsonHandler(c.Release))
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		data, err := c.StatusJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	return mux
+}
+
+// jsonHandler decodes one request type, applies the coordinator method,
+// and encodes the response.
+func jsonHandler[Req, Resp any](fn func(Req) Resp) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		body := http.MaxBytesReader(w, r.Body, 16<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(fn(req)); err != nil {
+			// The response is already partially written; nothing
+			// recoverable — the client's decode error stands in for us.
+			return
+		}
+	}
+}
+
+// HTTPClient speaks the coordinator protocol over the network; it is
+// what `ufsim worker -coordinator URL` runs on.
+type HTTPClient struct {
+	// Base is the coordinator URL, e.g. "http://sweep-host:7733".
+	Base string
+	// HTTP is the underlying client; nil uses a 30s-timeout default.
+	HTTP *http.Client
+}
+
+func (h *HTTPClient) client() *http.Client {
+	if h.HTTP != nil {
+		return h.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// post delivers one JSON request and decodes the JSON response.
+func (h *HTTPClient) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("sweepd: encoding %s request: %w", path, err)
+	}
+	url := strings.TrimRight(h.Base, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("sweepd: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Lease implements Client.
+func (h *HTTPClient) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := h.post(ctx, "/v1/lease", req, &resp)
+	return resp, err
+}
+
+// Heartbeat implements Client.
+func (h *HTTPClient) Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := h.post(ctx, "/v1/heartbeat", req, &resp)
+	return resp, err
+}
+
+// Complete implements Client.
+func (h *HTTPClient) Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := h.post(ctx, "/v1/complete", req, &resp)
+	return resp, err
+}
+
+// Release implements Client.
+func (h *HTTPClient) Release(ctx context.Context, req ReleaseRequest) (ReleaseResponse, error) {
+	var resp ReleaseResponse
+	err := h.post(ctx, "/v1/release", req, &resp)
+	return resp, err
+}

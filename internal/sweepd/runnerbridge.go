@@ -1,0 +1,84 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/system"
+)
+
+// ExperimentRunner adapts the supervised single-experiment runner
+// (runner.RunOne) into a UnitRunner: each leased unit runs with
+// per-attempt deadlines, panic isolation, reseeding retries, and crash
+// artifacts, exactly like a slot in a local sweep. The returned runner
+// recycles machines across its units through one pool, so a worker's
+// allocation profile matches the single-process runner's per-worker
+// pooling.
+//
+// base supplies the supervision knobs (Timeout, Retries, MaxEngineSteps,
+// ArtifactDir); the unit supplies Seed and Quick. When base.ArtifactDir
+// is set, a failed unit's crash artifact is read back and shipped to
+// the coordinator inside the completion, so the coordinator preserves
+// it per shard even though the worker's disk may be remote or
+// ephemeral.
+func ExperimentRunner(base runner.Config) UnitRunner {
+	pool := &system.Pool{} // thread-safe; shared across the worker's units
+	return func(ctx context.Context, u Unit, progress func(string)) UnitResult {
+		e, ok := experiments.Get(u.Experiment)
+		if !ok {
+			return UnitResult{Error: fmt.Sprintf("unknown experiment %q", u.Experiment), Attempts: 1}
+		}
+		cfg := base
+		cfg.Seed = u.Seed
+		cfg.Quick = u.Quick
+		cfg.Progress = progressWriter{fn: progress}
+		rep := runner.RunOne(ctx, cfg, e, pool)
+
+		res := UnitResult{
+			Attempts:   rep.Attempts,
+			DurationMS: rep.Duration.Milliseconds(),
+		}
+		switch rep.Status {
+		case runner.StatusDone:
+			var b strings.Builder
+			if err := rep.Result.Render(&b); err != nil {
+				res.Error = fmt.Sprintf("rendering result: %v", err)
+				return res
+			}
+			res.OK = true
+			res.Result = b.String()
+		default:
+			if rep.Err != nil {
+				res.Error = rep.Err.Error()
+			} else {
+				res.Error = string(rep.Status)
+			}
+			if rep.Artifact != "" {
+				if data, err := os.ReadFile(rep.Artifact); err == nil && json.Valid(data) {
+					res.Artifact = data
+				}
+			}
+		}
+		return res
+	}
+}
+
+// progressWriter adapts the worker's progress callback into the
+// io.Writer the runner's Progress tee wants, forwarding one note per
+// line.
+type progressWriter struct{ fn func(string) }
+
+// Write implements io.Writer.
+func (p progressWriter) Write(b []byte) (int, error) {
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		if line != "" {
+			p.fn(line)
+		}
+	}
+	return len(b), nil
+}

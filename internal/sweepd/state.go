@@ -1,0 +1,277 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/runner"
+)
+
+// StateName is the coordinator's crash-proof sweep state inside
+// StateDir. It is rewritten atomically (fsync + rename, via
+// runner.WriteFileAtomic) on every state transition, so a coordinator
+// that dies mid-sweep resumes from its last transition with nothing
+// lost and nothing torn.
+const StateName = "sweep-state.json"
+
+// stateEntry is one unit's persisted book entry. Rendered results are
+// not duplicated here — they live in per-unit <id>.txt reports — so the
+// state file stays small enough to rewrite on every transition.
+type stateEntry struct {
+	Unit        Unit          `json:"unit"`
+	State       UnitState     `json:"state"`
+	Expiries    int           `json:"expiries,omitempty"`
+	Failures    []UnitFailure `json:"failures,omitempty"`
+	Completions int           `json:"completions,omitempty"`
+	Attempts    int           `json:"attempts,omitempty"`
+	DurationMS  int64         `json:"duration_ms,omitempty"`
+	Quarantine  string        `json:"quarantine,omitempty"`
+}
+
+// stateFile is the on-disk document.
+type stateFile struct {
+	Units []stateEntry `json:"units"`
+}
+
+// persistLocked checkpoints the sweep state; a no-op without StateDir.
+// In-flight leases are persisted as their pre-lease pending state: a
+// coordinator restart cannot honor epochs it never granted, so on
+// resume those units simply re-run (their budgets intact).
+func (c *Coordinator) persistLocked() {
+	if c.cfg.StateDir == "" {
+		return
+	}
+	doc := stateFile{Units: make([]stateEntry, 0, len(c.order))}
+	for _, id := range c.sortedIDs() {
+		r := c.units[id]
+		st := r.state
+		if st == UnitLeased || st == UnitHeartbeating {
+			st = UnitPending
+		}
+		doc.Units = append(doc.Units, stateEntry{
+			Unit:        r.unit,
+			State:       st,
+			Expiries:    r.expiries,
+			Failures:    r.failures,
+			Completions: r.completions,
+			Attempts:    r.attempts,
+			DurationMS:  r.durationMS,
+			Quarantine:  r.quarantine,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(c.cfg.Log, "sweepd: warning: state marshal failed: %v\n", err)
+		return
+	}
+	if err := runner.WriteFileAtomic(filepath.Join(c.cfg.StateDir, StateName), func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	}); err != nil {
+		fmt.Fprintf(c.cfg.Log, "sweepd: warning: state checkpoint failed: %v\n", err)
+	}
+}
+
+// restoreState folds a previous coordinator's sweep state into the
+// fresh unit table. Only entries whose unit (ID, experiment, seed,
+// quick) matches the current grid apply — a state file from a different
+// sweep configuration cannot mask this sweep's work. Returns how many
+// terminal outcomes were restored.
+func (c *Coordinator) restoreState() (int, error) {
+	path := filepath.Join(c.cfg.StateDir, StateName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil // nothing to resume from
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sweepd: reading sweep state: %w", err)
+	}
+	var doc stateFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("sweepd: sweep state %s is corrupt: %w", path, err)
+	}
+	restored := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range doc.Units {
+		r, ok := c.units[e.Unit.ID]
+		if !ok || r.unit != e.Unit {
+			continue
+		}
+		r.expiries = e.Expiries
+		r.failures = append(r.failures[:0], e.Failures...)
+		for _, f := range e.Failures {
+			r.distinct[f.Worker] = true
+		}
+		r.completions = e.Completions
+		r.attempts = e.Attempts
+		r.durationMS = e.DurationMS
+		r.quarantine = e.Quarantine
+		switch e.State {
+		case UnitDone:
+			r.state = UnitDone
+			r.merged = true
+			restored++
+		case UnitQuarantined:
+			r.state = UnitQuarantined
+			restored++
+		default:
+			r.state = UnitPending
+		}
+	}
+	return restored, nil
+}
+
+// writeResultLocked persists a done unit's rendered report as
+// <id>.txt, mirroring `ufsim -out`.
+func (c *Coordinator) writeResultLocked(r *unitRecord) {
+	if c.cfg.StateDir == "" || r.result == "" {
+		return
+	}
+	path := filepath.Join(c.cfg.StateDir, string(r.unit.ID)+".txt")
+	if err := runner.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, r.result)
+		return err
+	}); err != nil {
+		fmt.Fprintf(c.cfg.Log, "sweepd: warning: %s report not written: %v\n", r.unit.ID, err)
+	}
+}
+
+// writeCrashLocked preserves a failed completion's crash artifact per
+// shard: <id>.<n>.crash.json for the unit's nth failure, verbatim as
+// the worker shipped it (the runner's Artifact JSON), or a minimal
+// record when the worker had none.
+func (c *Coordinator) writeCrashLocked(r *unitRecord, req CompleteRequest) {
+	if c.cfg.StateDir == "" {
+		return
+	}
+	art := req.Artifact
+	if len(art) == 0 {
+		fallback := struct {
+			Experiment string `json:"experiment"`
+			Worker     string `json:"worker"`
+			Error      string `json:"error"`
+			Attempts   int    `json:"attempts"`
+		}{string(r.unit.ID), req.Worker, req.Error, req.Attempts}
+		art, _ = json.MarshalIndent(fallback, "", "  ")
+	}
+	path := filepath.Join(c.cfg.StateDir, fmt.Sprintf("%s.%d.crash.json", r.unit.ID, len(r.failures)))
+	if err := runner.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(append(art, '\n'))
+		return err
+	}); err != nil {
+		fmt.Fprintf(c.cfg.Log, "sweepd: warning: %s crash artifact not written: %v\n", r.unit.ID, err)
+	}
+}
+
+// QuarantinePath is where a unit's quarantine artifact lives under dir.
+func QuarantinePath(dir string, id UnitID) string {
+	return filepath.Join(dir, string(id)+".quarantine.json")
+}
+
+// QuarantineArtifact is the preserved record of a quarantined unit.
+type QuarantineArtifact struct {
+	Unit     Unit          `json:"unit"`
+	Reason   string        `json:"reason"`
+	Expiries int           `json:"expiries"`
+	Failures []UnitFailure `json:"failures,omitempty"`
+	// Progress is the last heartbeat note before quarantine, often the
+	// sharpest clue to where the poison unit wedges.
+	Progress string `json:"progress,omitempty"`
+}
+
+// writeQuarantineLocked persists the quarantine record.
+func (c *Coordinator) writeQuarantineLocked(r *unitRecord) {
+	if c.cfg.StateDir == "" {
+		return
+	}
+	a := QuarantineArtifact{
+		Unit:     r.unit,
+		Reason:   r.quarantine,
+		Expiries: r.expiries,
+		Failures: r.failures,
+		Progress: r.progress,
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := runner.WriteFileAtomic(QuarantinePath(c.cfg.StateDir, r.unit.ID), func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	}); err != nil {
+		fmt.Fprintf(c.cfg.Log, "sweepd: warning: %s quarantine artifact not written: %v\n", r.unit.ID, err)
+	}
+}
+
+// mergedEntry and mergedManifest mirror internal/runner's manifest JSON
+// shape, so a sweep merged by the coordinator can be resumed (or
+// audited) by single-process `ufsim -artifacts DIR -resume`.
+type mergedEntry struct {
+	Status     runner.Status `json:"status"`
+	Seed       uint64        `json:"seed"`
+	Attempts   int           `json:"attempts"`
+	DurationMS int64         `json:"duration_ms"`
+	Error      string        `json:"error,omitempty"`
+	Artifact   string        `json:"artifact,omitempty"`
+}
+
+type mergedManifest struct {
+	Seed        uint64                 `json:"seed"`
+	Quick       bool                   `json:"quick"`
+	Experiments map[string]mergedEntry `json:"experiments"`
+}
+
+// writeManifestLocked writes the merged manifest: every unit's terminal
+// outcome in the runner's manifest format. Called when the sweep
+// completes and again at drain, always atomically.
+func (c *Coordinator) writeManifestLocked() error {
+	if c.cfg.StateDir == "" || len(c.order) == 0 {
+		return nil
+	}
+	first := c.units[c.order[0]].unit
+	doc := mergedManifest{Seed: first.Seed, Quick: first.Quick, Experiments: map[string]mergedEntry{}}
+	for _, id := range c.sortedIDs() {
+		r := c.units[id]
+		e := mergedEntry{Seed: r.unit.Seed, Attempts: r.attempts, DurationMS: r.durationMS}
+		switch r.state {
+		case UnitDone:
+			e.Status = runner.StatusDone
+		case UnitQuarantined:
+			// A quarantined unit resumes as a failure: single-process
+			// `ufsim -resume` re-runs it, which is the right default
+			// for a unit the fleet could not finish.
+			e.Status = runner.StatusFailed
+			e.Error = "quarantined: " + r.quarantine
+			e.Artifact = QuarantinePath(c.cfg.StateDir, id)
+			if len(r.failures) > 0 {
+				e.Attempts = len(r.failures)
+			}
+		default:
+			e.Status = runner.StatusSkipped
+			e.Error = "sweep drained before the unit ran"
+		}
+		doc.Experiments[string(id)] = e
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return runner.WriteFileAtomic(filepath.Join(c.cfg.StateDir, runner.ManifestName), func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	})
+}
+
+// WriteManifest forces the merged manifest out now (used at drain, when
+// the sweep may not be complete).
+func (c *Coordinator) WriteManifest() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeManifestLocked()
+}

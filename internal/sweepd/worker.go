@@ -1,0 +1,315 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// UnitResult is what a UnitRunner produces for one unit.
+type UnitResult struct {
+	// OK marks success; Result is the rendered experiment output.
+	OK     bool
+	Result string
+	// Error and Artifact describe a failure (the runner's crash
+	// artifact JSON, shipped to the coordinator verbatim).
+	Error    string
+	Artifact json.RawMessage
+	// Attempts and DurationMS are supervision bookkeeping.
+	Attempts   int
+	DurationMS int64
+}
+
+// UnitRunner executes one unit. ctx cancellation must abort the run
+// promptly (the worker cancels on heartbeat-abandon, kill, and
+// shutdown); progress streams checkpoint notes that ride out on
+// heartbeats. ExperimentRunner adapts the supervised runner; tests plug
+// in trivial runners.
+type UnitRunner func(ctx context.Context, u Unit, progress func(note string)) UnitResult
+
+// ErrKilled is returned by Worker.Run when the worker's chaos kill
+// schedule fired: the worker died mid-trial without completing or
+// releasing anything, exactly the crash lease expiry exists to absorb.
+var ErrKilled = errors.New("sweepd: worker killed by chaos schedule")
+
+// WorkerConfig tunes one worker.
+type WorkerConfig struct {
+	// ID names the worker in leases and failure records.
+	ID string
+	// Client is the coordinator transport (HTTP, loopback, or faulty).
+	Client Client
+	// Run executes leased units.
+	Run UnitRunner
+	// Clock supplies time; nil means the wall clock.
+	Clock Clock
+	// Jobs is how many units to lease and run concurrently; below 1
+	// means 1.
+	Jobs int
+	// PollMax caps the idle backoff between lease polls; zero means 2s.
+	PollMax time.Duration
+	// CompleteRetries is how many times a failed Complete delivery is
+	// retried before giving up (the lease then simply expires); zero
+	// means 4.
+	CompleteRetries int
+	// KillAfterUnits arms the chaos kill: the worker dies mid-trial
+	// while running its nth started unit. Zero disables.
+	KillAfterUnits int
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Worker leases units from a coordinator and runs them until the sweep
+// is done, the coordinator drains, or its context is cancelled.
+//
+// Shutdown has two grades, mirroring `ufsim worker`'s signal handling:
+// Drain (first signal) stops leasing and lets in-flight units finish
+// and report; cancelling the Run context (second signal) aborts
+// in-flight units and releases their leases, so the coordinator can
+// reassign them immediately instead of waiting out the TTL.
+type Worker struct {
+	cfg WorkerConfig
+
+	draining atomic.Bool
+	dead     atomic.Bool
+	killOnce sync.Once
+	killFn   context.CancelFunc
+
+	started atomic.Int64
+}
+
+// NewWorker builds a worker; Client and Run are required.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.Jobs < 1 {
+		cfg.Jobs = 1
+	}
+	if cfg.PollMax <= 0 {
+		cfg.PollMax = 2 * time.Second
+	}
+	if cfg.CompleteRetries <= 0 {
+		cfg.CompleteRetries = 4
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return &Worker{cfg: cfg}
+}
+
+// Drain stops the worker from leasing new units; in-flight units finish
+// and report, then Run returns nil.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// die is the chaos kill: mark dead and cancel everything. A dead worker
+// completes nothing and releases nothing.
+func (w *Worker) die() {
+	w.killOnce.Do(func() {
+		w.dead.Store(true)
+		fmt.Fprintf(w.cfg.Log, "%s: KILLED mid-trial (chaos schedule)\n", w.cfg.ID)
+		if w.killFn != nil {
+			w.killFn()
+		}
+	})
+}
+
+// Run is the worker main loop: lease, execute, report, repeat. It
+// returns nil when the sweep is done or draining, ErrKilled when the
+// chaos schedule fired, and ctx.Err() on cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w.killFn = cancel
+
+	backoff := 50 * time.Millisecond
+	for {
+		if w.dead.Load() {
+			return ErrKilled
+		}
+		if w.draining.Load() {
+			fmt.Fprintf(w.cfg.Log, "%s: drained, exiting\n", w.cfg.ID)
+			return nil
+		}
+		if err := runCtx.Err(); err != nil {
+			return err
+		}
+
+		resp, err := w.cfg.Client.Lease(runCtx, LeaseRequest{Worker: w.cfg.ID, Max: w.cfg.Jobs})
+		if w.dead.Load() {
+			return ErrKilled
+		}
+		if err != nil {
+			if runCtx.Err() != nil {
+				return runCtx.Err()
+			}
+			// Transport fault (or partition): back off and retry.
+			if err := w.cfg.Clock.Sleep(runCtx, backoff); err != nil {
+				return err
+			}
+			if backoff *= 2; backoff > w.cfg.PollMax {
+				backoff = w.cfg.PollMax
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		if resp.Done || resp.Draining {
+			return nil
+		}
+		if len(resp.Units) == 0 {
+			wait := time.Duration(resp.RetryAfterMillis) * time.Millisecond
+			if wait <= 0 || wait > w.cfg.PollMax {
+				wait = w.cfg.PollMax
+			}
+			if err := w.cfg.Clock.Sleep(runCtx, wait); err != nil {
+				return err
+			}
+			continue
+		}
+
+		var wg sync.WaitGroup
+		for _, lu := range resp.Units {
+			wg.Add(1)
+			go func(lu LeasedUnit) {
+				defer wg.Done()
+				w.execute(runCtx, ctx, lu)
+			}(lu)
+		}
+		wg.Wait()
+	}
+}
+
+// execute runs one leased unit under a heartbeat loop and reports its
+// outcome. runCtx is the worker's cancellable context (kill, abort);
+// parent distinguishes an external abort (release the lease) from an
+// internal abandon (the lease is no longer ours — walk away silently).
+func (w *Worker) execute(runCtx, parent context.Context, lu LeasedUnit) {
+	n := w.started.Add(1)
+	killThis := w.cfg.KillAfterUnits > 0 && n == int64(w.cfg.KillAfterUnits)
+
+	unitCtx, cancelUnit := context.WithCancel(runCtx)
+	defer cancelUnit()
+
+	var noteMu sync.Mutex
+	var note string
+	var killFired atomic.Bool
+	progress := func(s string) {
+		if killThis && !killFired.Swap(true) {
+			// Mid-trial death: the first checkpoint of the doomed unit
+			// is as "mid" as it gets.
+			w.die()
+			return
+		}
+		noteMu.Lock()
+		note = s
+		noteMu.Unlock()
+	}
+
+	// Heartbeat at a third of the TTL, carrying the latest note. A
+	// transport error is left for the next tick (a missed heartbeat is
+	// exactly what the lease TTL is sized to absorb); an Abandon reply
+	// cancels the run — the unit belongs to someone else now.
+	ttl := time.Duration(lu.TTLMillis) * time.Millisecond
+	every := ttl / 3
+	if every <= 0 {
+		every = time.Second
+	}
+	hbDone := make(chan struct{})
+	abandoned := &atomic.Bool{}
+	go func() {
+		defer close(hbDone)
+		for {
+			if err := w.cfg.Clock.Sleep(unitCtx, every); err != nil {
+				return
+			}
+			noteMu.Lock()
+			s := note
+			noteMu.Unlock()
+			resp, err := w.cfg.Client.Heartbeat(unitCtx, HeartbeatRequest{
+				Worker: w.cfg.ID, Unit: lu.Unit.ID, Epoch: lu.Epoch, Note: s,
+			})
+			if err != nil {
+				continue
+			}
+			if resp.Abandon {
+				abandoned.Store(true)
+				cancelUnit()
+				return
+			}
+		}
+	}()
+
+	start := w.cfg.Clock.Now()
+	res := w.cfg.Run(unitCtx, lu.Unit, progress)
+	cancelUnit()
+	<-hbDone
+
+	if w.dead.Load() {
+		return // crashed: no completion, no release — the lease expires
+	}
+	if killThis {
+		// The runner never reported progress; die before reporting so
+		// the kill still looks like a crash to the coordinator.
+		w.die()
+		return
+	}
+	if abandoned.Load() {
+		fmt.Fprintf(w.cfg.Log, "%s: abandoned %s (lease reassigned)\n", w.cfg.ID, lu.Unit.ID)
+		return
+	}
+	if parent.Err() != nil || runCtx.Err() != nil {
+		// Aborted from outside: hand the lease back so the coordinator
+		// reassigns immediately instead of waiting out the TTL. The
+		// worker is shutting down, so use a short independent context.
+		rctx, rcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer rcancel()
+		w.cfg.Client.Release(rctx, ReleaseRequest{
+			Worker: w.cfg.ID,
+			Units:  []UnitEpoch{{Unit: lu.Unit.ID, Epoch: lu.Epoch}},
+			Reason: "worker aborted",
+		})
+		fmt.Fprintf(w.cfg.Log, "%s: released %s (aborted)\n", w.cfg.ID, lu.Unit.ID)
+		return
+	}
+
+	if res.DurationMS == 0 {
+		res.DurationMS = w.cfg.Clock.Now().Sub(start).Milliseconds()
+	}
+	w.complete(runCtx, lu, res)
+}
+
+// complete delivers the outcome, retrying transport faults with backoff.
+// Giving up is safe: the undelivered outcome is re-earned after the
+// lease expires, and if an earlier delivery actually landed (a dropped
+// response), the coordinator's idempotent accept absorbs the retry.
+func (w *Worker) complete(ctx context.Context, lu LeasedUnit, res UnitResult) {
+	req := CompleteRequest{
+		Worker: w.cfg.ID, Unit: lu.Unit.ID, Epoch: lu.Epoch,
+		OK: res.OK, Result: res.Result, Error: res.Error,
+		Artifact: res.Artifact, Attempts: res.Attempts, DurationMS: res.DurationMS,
+	}
+	backoff := 100 * time.Millisecond
+	for i := 0; i <= w.cfg.CompleteRetries; i++ {
+		resp, err := w.cfg.Client.Complete(ctx, req)
+		if w.dead.Load() || ctx.Err() != nil {
+			return
+		}
+		if err == nil {
+			if !resp.Accepted {
+				fmt.Fprintf(w.cfg.Log, "%s: completion of %s fenced off (stale epoch %d)\n", w.cfg.ID, lu.Unit.ID, lu.Epoch)
+			}
+			return
+		}
+		if err := w.cfg.Clock.Sleep(ctx, backoff); err != nil {
+			return
+		}
+		if backoff *= 2; backoff > w.cfg.PollMax {
+			backoff = w.cfg.PollMax
+		}
+	}
+	fmt.Fprintf(w.cfg.Log, "%s: could not deliver completion of %s; leaving it to lease expiry\n", w.cfg.ID, lu.Unit.ID)
+}
