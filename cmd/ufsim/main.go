@@ -44,9 +44,18 @@
 //	ufsim worker -coordinator http://sweep-host:7733
 //	ufsim serve -loopback 4 -quick      hermetic in-process fleet
 //
+// The coordinator persists sweep state durably: a checksummed
+// append-only journal plus periodic snapshots (see DESIGN.md
+// "Durability model"). The fsck subcommand verifies a state dir offline
+// — journal checksums, snapshot/manifest consistency, orphaned or torn
+// artifacts — and exits non-zero on corruption:
+//
+//	ufsim fsck sweep-artifacts
+//
 // Exit codes everywhere: 0 success, 1 completed with failures, 2 usage
 // error, 3 aborted by signal (SIGINT and SIGTERM are handled alike:
-// first signal drains, second aborts).
+// first signal drains, second aborts), 4 degraded — the coordinator
+// could not persist sweep state and refused to keep going.
 package main
 
 import (
@@ -65,13 +74,16 @@ import (
 )
 
 // Exit codes, uniform across subcommands: 0 success, 1 completed with
-// failures (failed, quarantined, or unfinished units), 2 usage error,
-// 3 aborted by signal.
+// failures (failed, quarantined, or unfinished units — and for fsck,
+// corruption found), 2 usage error, 3 aborted by signal, 4 degraded
+// (sweep state could not be persisted; the sweep stopped rather than
+// continue without crash-proofing).
 const (
 	exitOK       = 0
 	exitFailures = 1
 	exitUsage    = 2
 	exitSignal   = 3
+	exitDegraded = 4
 )
 
 func main() {
@@ -87,6 +99,8 @@ func main() {
 			os.Exit(serveCmd(os.Args[2:]))
 		case "worker":
 			os.Exit(workerCmd(os.Args[2:]))
+		case "fsck":
+			os.Exit(fsckCmd(os.Args[2:]))
 		}
 	}
 	os.Exit(run())

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/runner"
 	"repro/internal/sweepd"
+	"repro/internal/vfs"
 )
 
 // serveCmd is `ufsim serve`: it shards a sweep into units and
@@ -52,7 +54,10 @@ func serveCmd(args []string) int {
 		maxSteps = fs.Int64("max-steps", 0, "per-machine engine step budget in loopback workers (0 = none)")
 
 		chaosNet  = fs.Float64("chaos-net", 0, "network-fault intensity in [0,1] for the loopback transport (testing)")
-		chaosSeed = fs.Uint64("chaos-seed", 0xC0FFEE, "seed for the network-fault plan")
+		chaosDisk = fs.Float64("chaos-disk", 0, "disk-fault intensity in [0,1] injected into all state-dir I/O (testing)")
+		chaosSeed = fs.Uint64("chaos-seed", 0xC0FFEE, "seed for the network/disk fault plans")
+
+		legacyState = fs.Bool("legacy-state", false, "persist state as the pre-journal sweep-state.json full rewrite (interop only)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ufsim serve [-addr :7733 | -loopback N] [-experiment all] [-artifacts DIR] [-resume] ...")
@@ -71,6 +76,16 @@ func serveCmd(args []string) int {
 		return 1
 	}
 
+	// The state-dir filesystem: real, or wrapped in the deterministic
+	// disk-fault injector for chaos runs. The same seed drives net and
+	// disk plans, so one flag pair reproduces a whole chaos run.
+	var stateFS vfs.FS = vfs.OS{}
+	var diskPlan *faults.DiskPlan
+	if *chaosDisk > 0 {
+		diskPlan = faults.NewDiskPlan(faults.DefaultDiskConfig(*chaosDisk), *chaosSeed)
+		stateFS = &faults.FaultyFS{Inner: vfs.OS{}, Plan: diskPlan}
+	}
+
 	units := sweepd.ReplicaUnits(ids, *seed, *quick, *replicas)
 	c, err := sweepd.NewCoordinator(sweepd.CoordinatorConfig{
 		LeaseTTL:        *leaseTTL,
@@ -80,11 +95,18 @@ func serveCmd(args []string) int {
 		Seed:            *seed,
 		StateDir:        *artifacts,
 		Resume:          *resume,
+		FS:              stateFS,
+		LegacyState:     *legacyState,
 		Log:             os.Stderr,
 	}, units)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ufsim serve: %v\n", err)
 		return 1
+	}
+	defer c.Close()
+	if salv := c.Salvage(); salv != nil {
+		fmt.Fprintf(os.Stderr, "ufsim serve: LOSSY RECOVERY (%s): %s (report: %s)\n",
+			salv.Kind, salv.Detail, filepath.Join(*artifacts, sweepd.SalvageName))
 	}
 
 	// Two-grade shutdown: first signal drains, second aborts.
@@ -145,6 +167,9 @@ func serveCmd(args []string) int {
 		if plan != nil {
 			fmt.Fprintf(os.Stderr, "ufsim serve: chaos stats: %+v (fleet %+v)\n", plan.Stats(), rep)
 		}
+		if diskPlan != nil {
+			fmt.Fprintf(os.Stderr, "ufsim serve: disk chaos stats: %+v\n", diskPlan.Stats())
+		}
 		return finishSweep(c, *artifacts, drained(signalled))
 	}
 
@@ -198,12 +223,19 @@ func drained(ch <-chan struct{}) bool {
 
 // finishSweep writes the merged manifest and maps the sweep outcome to
 // the process exit code: 0 all done, 1 completed with quarantined units,
-// 3 stopped by signal with work left unfinished. A signal that arrives
-// after the last unit merged is not an abort — the sweep's content
-// decides the code whenever nothing was cut short.
+// 3 stopped by signal with work left unfinished, 4 degraded (state
+// could not be persisted; the sweep is not resumable past its last
+// durable transition). A signal that arrives after the last unit merged
+// is not an abort — the sweep's content decides the code whenever
+// nothing was cut short.
 func finishSweep(c *sweepd.Coordinator, artifacts string, signalled bool) int {
 	if err := c.WriteManifest(); err != nil {
 		fmt.Fprintf(os.Stderr, "ufsim serve: writing manifest: %v\n", err)
+	}
+	if deg, reason := c.Degraded(); deg {
+		fmt.Fprintf(os.Stderr, "ufsim serve: DEGRADED: %s\n", reason)
+		fmt.Fprintf(os.Stderr, "ufsim serve: verify the state dir with: ufsim fsck %s\n", artifacts)
+		return exitDegraded
 	}
 	st := c.Snapshot()
 	fmt.Fprintf(os.Stderr, "ufsim serve: done=%d quarantined=%d pending=%d leased=%d (manifest in %s)\n",
@@ -310,6 +342,12 @@ func workerCmd(args []string) int {
 	switch {
 	case drained(aborted):
 		return 3
+	case errors.Is(err, sweepd.ErrDegraded):
+		// The coordinator refused leases because it cannot persist
+		// state; surface the distinct code so fleet automation restarts
+		// nothing until the state dir is fixed.
+		fmt.Fprintf(os.Stderr, "ufsim worker: %v\n", err)
+		return exitDegraded
 	case err != nil && !errors.Is(err, context.Canceled):
 		fmt.Fprintf(os.Stderr, "ufsim worker: %v\n", err)
 		return 1

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/sim"
@@ -96,6 +97,8 @@ func Cases() []Case {
 		{Name: "trial-sync-quick", Trial: true, Long: true, Fn: benchTrialSync},
 		{Name: "trial-rel-quick", Trial: true, Long: true, Fn: benchTrialRel},
 		{Name: "sweepd-loopback", Long: true, Fn: benchSweepdLoopback},
+		{Name: "sweepd-journal-append-512", Long: true, Fn: benchSweepdJournalAppend},
+		{Name: "sweepd-rewrite-512", Long: true, Fn: benchSweepdRewrite},
 	}
 }
 
@@ -337,3 +340,60 @@ func benchSweepdLoopback(b *testing.B) {
 		}
 	}
 }
+
+// benchSweepdPersist times one persisted unit transition — lease plus
+// completion merge — on a 512-unit coordinator backed by the in-memory
+// crash-model filesystem (so the number is serialization and protocol,
+// not platter latency). The journal variant appends one framed record
+// per transition; the legacy variant rewrites the whole 512-entry state
+// document. The gap between the two cases is the tentpole's O(units) →
+// O(1) claim, measured.
+func benchSweepdPersist(b *testing.B, legacy bool) {
+	units := make([]sweepd.Unit, 512)
+	for i := range units {
+		units[i] = sweepd.Unit{
+			ID: sweepd.UnitID(fmt.Sprintf("u%03d", i)), Experiment: "bench",
+			Seed: uint64(i), Quick: true,
+		}
+	}
+	newCoord := func() *sweepd.Coordinator {
+		c, err := sweepd.NewCoordinator(sweepd.CoordinatorConfig{
+			Clock:       sweepd.NewManualClock(time.Unix(0, 0)),
+			LeaseTTL:    time.Hour,
+			StateDir:    "state",
+			FS:          faults.NewDiskFS(1),
+			LegacyState: legacy,
+			// Never compact mid-run: the journal case measures the pure
+			// append path (compaction cost amortizes to ~zero at this
+			// cadence anyway).
+			SnapshotEvery: 1 << 30,
+		}, units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	c, idx := newCoord(), 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx == len(units)-1 {
+			// Grid nearly exhausted: rebuild off the clock, leaving the
+			// last unit pending so the end-of-sweep manifest write never
+			// pollutes the per-transition number.
+			b.StopTimer()
+			c, idx = newCoord(), 0
+			b.StartTimer()
+		}
+		resp := c.Lease(sweepd.LeaseRequest{Worker: "bench", Max: 1})
+		if len(resp.Units) != 1 {
+			b.Fatalf("lease refused at unit %d: %+v", idx, resp)
+		}
+		lu := resp.Units[0]
+		c.Complete(sweepd.CompleteRequest{Worker: "bench", Unit: lu.Unit.ID, Epoch: lu.Epoch, OK: true})
+		idx++
+	}
+}
+
+func benchSweepdJournalAppend(b *testing.B) { benchSweepdPersist(b, false) }
+func benchSweepdRewrite(b *testing.B)       { benchSweepdPersist(b, true) }

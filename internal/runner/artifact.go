@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/vfs"
 )
 
 // Artifact is the crash record written when an experiment exhausts its
@@ -83,13 +84,13 @@ func ArtifactPath(dir, id string) string {
 }
 
 // writeCrashArtifact atomically persists a and returns its path.
-func writeCrashArtifact(dir string, a Artifact) (string, error) {
+func writeCrashArtifact(fsys vfs.FS, dir string, a Artifact) (string, error) {
 	path := ArtifactPath(dir, a.Experiment)
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return "", err
 	}
-	if err := WriteFileAtomic(path, func(w io.Writer) error {
+	if err := vfs.WriteFileAtomic(fsys, path, func(w io.Writer) error {
 		_, err := w.Write(append(data, '\n'))
 		return err
 	}); err != nil {

@@ -6,8 +6,9 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
+
+	"repro/internal/vfs"
 )
 
 // ManifestName is the sweep-manifest filename inside ArtifactDir.
@@ -35,20 +36,21 @@ type manifest struct {
 	Experiments map[string]manifestEntry `json:"experiments"`
 
 	path string
+	fsys vfs.FS
 }
 
 // openManifest prepares dir and returns the sweep manifest: a fresh one,
 // or — when resume is set and the stored configuration matches — the
 // previous sweep's state.
-func openManifest(dir string, seed uint64, quick, resume bool) (*manifest, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func openManifest(fsys vfs.FS, dir string, seed uint64, quick, resume bool) (*manifest, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: artifact dir: %w", err)
 	}
-	m := &manifest{Seed: seed, Quick: quick, Experiments: map[string]manifestEntry{}, path: filepath.Join(dir, ManifestName)}
+	m := &manifest{Seed: seed, Quick: quick, Experiments: map[string]manifestEntry{}, path: filepath.Join(dir, ManifestName), fsys: fsys}
 	if !resume {
 		return m, nil
 	}
-	data, err := os.ReadFile(m.path)
+	data, err := fsys.ReadFile(m.path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return m, nil // nothing to resume from; start fresh
 	}
@@ -64,6 +66,7 @@ func openManifest(dir string, seed uint64, quick, resume bool) (*manifest, error
 		return m, nil
 	}
 	prev.path = m.path
+	prev.fsys = fsys
 	if prev.Experiments == nil {
 		prev.Experiments = map[string]manifestEntry{}
 	}
@@ -101,49 +104,21 @@ func (m *manifest) record(rep Report) error {
 	if err != nil {
 		return err
 	}
-	return WriteFileAtomic(m.path, func(w io.Writer) error {
+	return vfs.WriteFileAtomic(m.fsys, m.path, func(w io.Writer) error {
 		_, err := w.Write(append(data, '\n'))
 		return err
 	})
 }
 
-// WriteFileAtomic writes a file via a temp file in the same directory
-// and a rename, so readers never observe a truncated file and a failed
-// write leaves no partial artifact behind. The temp file is fsynced
-// before the rename: without it, a machine crash in the window between
-// rename and writeback could leave the *final* name holding empty or
-// torn content — precisely the state resume must never trust.
+// WriteFileAtomic writes a file on the real filesystem via a temp file
+// in the same directory and a rename, so readers never observe a
+// truncated file and a failed write leaves no partial artifact behind.
+// It is vfs.WriteFileAtomic pinned to vfs.OS — the temp file is fsynced
+// before the rename and the parent directory is fsynced after it, so a
+// completed call survives power loss (the rename alone is just a
+// directory entry until the directory's metadata reaches disk). Code
+// that can run under an injected filesystem should call
+// vfs.WriteFileAtomic directly.
 func WriteFileAtomic(path string, write func(w io.Writer) error) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return err
-	}
-	// CreateTemp opens 0600; these are reports and manifests, not
-	// secrets, so restore the conventional world-readable mode.
-	if err := tmp.Chmod(0o644); err != nil {
-		return err
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err := write(tmp); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	name := tmp.Name()
-	tmp = nil // disarm the cleanup; rename owns the file now
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return nil
+	return vfs.WriteFileAtomic(vfs.OS{}, path, write)
 }

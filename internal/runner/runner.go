@@ -45,6 +45,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/system"
+	"repro/internal/vfs"
 )
 
 // Status classifies one experiment's outcome in a sweep.
@@ -92,6 +93,10 @@ type Config struct {
 	// ArtifactDir, when non-empty, receives crash artifacts and the
 	// sweep manifest (manifest.json). Empty disables both.
 	ArtifactDir string
+	// FS is the filesystem all ArtifactDir persistence goes through;
+	// nil means the real one (vfs.OS). Tests and chaos runs inject the
+	// fault-driven filesystems from internal/faults here.
+	FS vfs.FS
 	// Resume loads ArtifactDir's manifest and skips experiments already
 	// done under the same Seed/Quick; failures and never-started
 	// experiments re-run.
@@ -108,6 +113,14 @@ type Config struct {
 	// OnResult, when non-nil, observes each report as its experiment
 	// finishes (serialized; safe to render from).
 	OnResult func(Report)
+}
+
+// fsys resolves the configured filesystem, defaulting to the real one.
+func (cfg Config) fsys() vfs.FS {
+	if cfg.FS != nil {
+		return cfg.FS
+	}
+	return vfs.OS{}
 }
 
 // DefaultReseed is the retry reseeding policy: attempt 0 keeps the base
@@ -206,7 +219,7 @@ func Run(ctx context.Context, cfg Config, exps []experiments.Experiment) (Summar
 	var man *manifest
 	if cfg.ArtifactDir != "" {
 		var err error
-		man, err = openManifest(cfg.ArtifactDir, cfg.Seed, cfg.Quick, cfg.Resume)
+		man, err = openManifest(cfg.fsys(), cfg.ArtifactDir, cfg.Seed, cfg.Quick, cfg.Resume)
 		if err != nil {
 			return Summary{}, err
 		}
@@ -362,7 +375,7 @@ func supervise(ctx context.Context, cfg Config, e experiments.Experiment, logw i
 	}
 	rep.Status = StatusFailed
 	if cfg.ArtifactDir != "" {
-		path, werr := writeCrashArtifact(cfg.ArtifactDir, crashArtifact(cfg, e, seeds, rep, rlog.String()))
+		path, werr := writeCrashArtifact(cfg.fsys(), cfg.ArtifactDir, crashArtifact(cfg, e, seeds, rep, rlog.String()))
 		if werr != nil {
 			fmt.Fprintf(logw, "warning: %s: crash artifact not written: %v\n", e.ID, werr)
 		} else {

@@ -3,6 +3,7 @@ package sweepd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -10,7 +11,15 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
+
+// ErrDegraded is returned by Wait when the coordinator has entered
+// degraded mode: state persistence failed past its retry budget, new
+// leases are refused, and the sweep cannot finish. The serve command
+// maps it to a distinct exit code so automation never mistakes a
+// non-resumable sweep for a healthy one.
+var ErrDegraded = errors.New("sweepd: coordinator degraded: sweep state cannot be persisted")
 
 // CoordinatorConfig tunes lease and quarantine policy.
 type CoordinatorConfig struct {
@@ -43,10 +52,32 @@ type CoordinatorConfig struct {
 	// merged manifest (manifest.json). Empty keeps everything in
 	// memory.
 	StateDir string
-	// Resume loads StateDir's sweep-state.json and keeps terminal
+	// Resume replays StateDir's durable state (journal + snapshot, or a
+	// legacy sweep-state.json, which is migrated) and keeps terminal
 	// outcomes whose unit grid matches; in-flight leases from the dead
 	// coordinator revert to pending without charging budgets.
 	Resume bool
+	// FS is the filesystem all StateDir persistence goes through; nil
+	// means the real one (vfs.OS). Tests and chaos runs inject the
+	// fault-driven filesystems from internal/faults here.
+	FS vfs.FS
+	// LegacyState keeps the pre-journal checkpoint format: the whole
+	// sweep-state.json rewritten on every transition. O(units) I/O per
+	// transition — only for interop with tooling that reads that file.
+	LegacyState bool
+	// SnapshotEvery is how many journal records accumulate before a
+	// compaction folds them into a snapshot; zero means
+	// max(256, 4×units).
+	SnapshotEvery int
+	// PersistRetries bounds how many times one transition's journal
+	// append is retried (each retry rolls a fresh generation, which
+	// also clears a torn in-flight file); zero means 2.
+	PersistRetries int
+	// PersistFailLimit is how many consecutive transitions may fail to
+	// persist before the coordinator declares itself degraded: it stops
+	// granting leases, surfaces `degraded` in /v1/status, and Wait
+	// returns ErrDegraded. Zero means 3.
+	PersistFailLimit int
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }
@@ -69,6 +100,15 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.Clock == nil {
 		c.Clock = RealClock{}
+	}
+	if c.FS == nil {
+		c.FS = vfs.OS{}
+	}
+	if c.PersistRetries <= 0 {
+		c.PersistRetries = 2
+	}
+	if c.PersistFailLimit <= 0 {
+		c.PersistFailLimit = 3
 	}
 	if c.Log == nil {
 		c.Log = io.Discard
@@ -129,6 +169,16 @@ type Coordinator struct {
 	order    []UnitID
 	rng      *sim.Rand
 	draining bool
+	// store is the durable journal (nil with LegacyState or no
+	// StateDir); salvage records a lossy recovery at open.
+	store   *journalStore
+	salvage *SalvageReport
+	// persistFails counts consecutive failed checkpoint transitions;
+	// at cfg.PersistFailLimit the coordinator goes (and stays)
+	// degraded.
+	persistFails   int
+	degraded       bool
+	degradedReason string
 	// doneCh closes when every unit is terminal.
 	doneCh   chan struct{}
 	doneOnce sync.Once
@@ -152,19 +202,67 @@ func NewCoordinator(cfg CoordinatorConfig, units []Unit) (*Coordinator, error) {
 		c.units[u.ID] = &unitRecord{unit: u, state: UnitPending, distinct: map[string]bool{}}
 		c.order = append(c.order, u.ID)
 	}
-	if cfg.Resume && cfg.StateDir != "" {
-		restored, err := c.restoreState()
-		if err != nil {
-			return nil, err
+	if c.cfg.SnapshotEvery <= 0 {
+		// Amortize: one O(units) compaction per a few journal passes
+		// over the grid, with a floor so small sweeps barely compact.
+		c.cfg.SnapshotEvery = 4 * len(units)
+		if c.cfg.SnapshotEvery < 256 {
+			c.cfg.SnapshotEvery = 256
 		}
-		if restored > 0 {
-			fmt.Fprintf(cfg.Log, "sweepd: resumed %d terminal unit(s) from %s\n", restored, cfg.StateDir)
+	}
+	if cfg.StateDir != "" {
+		if cfg.LegacyState {
+			if err := c.cfg.FS.MkdirAll(cfg.StateDir, 0o755); err != nil {
+				return nil, fmt.Errorf("sweepd: state dir: %w", err)
+			}
+			if cfg.Resume {
+				restored, err := c.restoreState()
+				if err != nil {
+					return nil, err
+				}
+				if restored > 0 {
+					fmt.Fprintf(cfg.Log, "sweepd: resumed %d terminal unit(s) from %s\n", restored, cfg.StateDir)
+				}
+			}
+		} else {
+			store, entries, salvage, err := openJournal(c.cfg.FS, cfg.StateDir, cfg.Resume, cfg.Log)
+			if err != nil {
+				return nil, err
+			}
+			c.store = store
+			c.salvage = salvage
+			c.mu.Lock()
+			restored := c.applyEntriesLocked(entries)
+			c.mu.Unlock()
+			if restored > 0 {
+				fmt.Fprintf(cfg.Log, "sweepd: resumed %d terminal unit(s) from %s (journal generation %d)\n", restored, cfg.StateDir, store.gen)
+			}
 		}
 	}
 	c.mu.Lock()
 	c.checkDoneLocked()
 	c.mu.Unlock()
 	return c, nil
+}
+
+// Salvage reports whether (and how) the journal recovery at startup was
+// lossy; nil means clean.
+func (c *Coordinator) Salvage() *SalvageReport { return c.salvage }
+
+// Close releases the journal handle. State is already durable — every
+// transition was fsynced when it happened.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.Close()
+}
+
+// Degraded reports whether the coordinator has stopped granting leases
+// because sweep state can no longer be persisted, and why.
+func (c *Coordinator) Degraded() (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded, c.degradedReason
 }
 
 // Lease grants up to req.Max pending units to req.Worker.
@@ -179,6 +277,13 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	}
 	if c.allTerminalLocked() {
 		return LeaseResponse{Done: true}
+	}
+	if c.degraded {
+		// Refusing is the honest move: a lease granted now could
+		// complete work whose merge the coordinator cannot make
+		// durable, and "crash-proof" must not silently become
+		// best-effort.
+		return LeaseResponse{Degraded: true}
 	}
 	max := req.Max
 	if max < 1 {
@@ -226,7 +331,12 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 			retry = time.Millisecond
 		}
 		resp.RetryAfterMillis = retry.Milliseconds()
-	} else {
+	} else if c.store == nil {
+		// Legacy checkpoint: the full rewrite happens on every
+		// transition, grants included. In journal mode a grant is
+		// durably a no-op — a leased unit persists as pending (a
+		// restarted coordinator cannot honor epochs it never granted) —
+		// so the journal appends nothing and leasing costs zero I/O.
 		c.persistLocked()
 	}
 	return resp
@@ -318,7 +428,7 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 			fmt.Fprintf(c.cfg.Log, "sweepd: %s failed on %s (%d distinct worker(s)); retrying after backoff\n", r.unit.ID, req.Worker, len(r.distinct))
 		}
 	}
-	c.persistLocked()
+	c.persistUnitLocked(r)
 	c.checkDoneLocked()
 	return CompleteResponse{Accepted: true}
 }
@@ -350,7 +460,11 @@ func (c *Coordinator) Release(req ReleaseRequest) ReleaseResponse {
 	}
 	if n > 0 {
 		fmt.Fprintf(c.cfg.Log, "sweepd: %s released %d lease(s) (%s)\n", req.Worker, n, req.Reason)
-		c.persistLocked()
+		if c.store == nil {
+			// Durably a no-op in journal mode: a released unit goes
+			// back to exactly the pending entry already on disk.
+			c.persistLocked()
+		}
 	}
 	return ReleaseResponse{Released: n}
 }
@@ -359,7 +473,7 @@ func (c *Coordinator) Release(req ReleaseRequest) ReleaseResponse {
 // a jittered backoff, and a unit that has burned its expiry budget is
 // quarantined. Called with the lock held at the top of every API method.
 func (c *Coordinator) reapLocked(now time.Time) {
-	changed := false
+	var changed []*unitRecord
 	for _, id := range c.order {
 		r := c.units[id]
 		if r.state != UnitLeased && r.state != UnitHeartbeating {
@@ -368,7 +482,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 		if r.expiry.After(now) {
 			continue
 		}
-		changed = true
+		changed = append(changed, r)
 		r.expiries++
 		fmt.Fprintf(c.cfg.Log, "sweepd: lease on %s by %s expired (%d/%d)\n", r.unit.ID, r.worker, r.expiries, c.cfg.ExpiryBudget)
 		if r.expiries >= c.cfg.ExpiryBudget {
@@ -383,8 +497,16 @@ func (c *Coordinator) reapLocked(now time.Time) {
 		r.expiry = time.Time{}
 		c.benchLocked(r, now, r.expiries)
 	}
-	if changed {
-		c.persistLocked()
+	if len(changed) > 0 {
+		if c.store == nil {
+			c.persistLocked()
+		} else {
+			// An expiry charges the unit's budget (and may quarantine
+			// it) — that is real state, one journal record per unit.
+			for _, r := range changed {
+				c.persistUnitLocked(r)
+			}
+		}
 		c.checkDoneLocked()
 	}
 }
@@ -466,6 +588,11 @@ func (c *Coordinator) Wait(ctx context.Context, poll time.Duration) error {
 			return ctx.Err()
 		default:
 		}
+		if deg, _ := c.Degraded(); deg {
+			// The sweep cannot finish: pending units are unleasable and
+			// their outcomes could not be made durable anyway.
+			return ErrDegraded
+		}
 		if err := c.cfg.Clock.Sleep(ctx, poll); err != nil {
 			return err
 		}
@@ -509,12 +636,17 @@ type UnitStatus struct {
 
 // Status is the sweep snapshot served at /v1/status.
 type Status struct {
-	Pending     int          `json:"pending"`
-	Leased      int          `json:"leased"`
-	Done        int          `json:"done"`
-	Quarantined int          `json:"quarantined"`
-	Draining    bool         `json:"draining,omitempty"`
-	Units       []UnitStatus `json:"units"`
+	Pending     int  `json:"pending"`
+	Leased      int  `json:"leased"`
+	Done        int  `json:"done"`
+	Quarantined int  `json:"quarantined"`
+	Draining    bool `json:"draining,omitempty"`
+	// Degraded means state persistence failed past its retry budget:
+	// no new leases are granted and the sweep is not resumable past
+	// its last durable transition.
+	Degraded       bool         `json:"degraded,omitempty"`
+	DegradedReason string       `json:"degraded_reason,omitempty"`
+	Units          []UnitStatus `json:"units"`
 }
 
 // Snapshot returns the current sweep status, reaping first so the view
@@ -525,7 +657,7 @@ func (c *Coordinator) Snapshot() Status {
 	defer c.mu.Unlock()
 	c.reapLocked(now)
 
-	st := Status{Draining: c.draining}
+	st := Status{Draining: c.draining, Degraded: c.degraded, DegradedReason: c.degradedReason}
 	for _, id := range c.order {
 		r := c.units[id]
 		switch r.state {

@@ -2,21 +2,19 @@ package sweepd
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
-	"io/fs"
-	"os"
 	"path/filepath"
 
 	"repro/internal/runner"
+	"repro/internal/vfs"
 )
 
-// StateName is the coordinator's crash-proof sweep state inside
-// StateDir. It is rewritten atomically (fsync + rename, via
-// runner.WriteFileAtomic) on every state transition, so a coordinator
-// that dies mid-sweep resumes from its last transition with nothing
-// lost and nothing torn.
+// StateName is the coordinator's legacy crash-proof sweep state inside
+// StateDir: the whole document rewritten atomically on every state
+// transition. The journal (journal.go) supersedes it — O(1) appends
+// instead of O(units) rewrites — and migrates it on resume; the legacy
+// format remains available behind CoordinatorConfig.LegacyState.
 const StateName = "sweep-state.json"
 
 // stateEntry is one unit's persisted book entry. Rendered results are
@@ -38,67 +36,153 @@ type stateFile struct {
 	Units []stateEntry `json:"units"`
 }
 
-// persistLocked checkpoints the sweep state; a no-op without StateDir.
-// In-flight leases are persisted as their pre-lease pending state: a
-// coordinator restart cannot honor epochs it never granted, so on
-// resume those units simply re-run (their budgets intact).
+// entryFor renders one unit's persistable book entry. In-flight leases
+// persist as their pre-lease pending state: a coordinator restart
+// cannot honor epochs it never granted, so on resume those units simply
+// re-run (their budgets intact).
+func entryFor(r *unitRecord) stateEntry {
+	st := r.state
+	if st == UnitLeased || st == UnitHeartbeating {
+		st = UnitPending
+	}
+	return stateEntry{
+		Unit:        r.unit,
+		State:       st,
+		Expiries:    r.expiries,
+		Failures:    r.failures,
+		Completions: r.completions,
+		Attempts:    r.attempts,
+		DurationMS:  r.durationMS,
+		Quarantine:  r.quarantine,
+	}
+}
+
+// entriesLocked renders the whole unit table in grid order — the
+// snapshot document, and the legacy full-rewrite body.
+func (c *Coordinator) entriesLocked() []stateEntry {
+	entries := make([]stateEntry, 0, len(c.order))
+	for _, id := range c.sortedIDs() {
+		entries = append(entries, entryFor(c.units[id]))
+	}
+	return entries
+}
+
+// persistLocked checkpoints the sweep state in the legacy full-rewrite
+// format; a no-op without StateDir. O(units) I/O per call — journal
+// mode (persistUnitLocked) replaces it everywhere but behind
+// cfg.LegacyState.
 func (c *Coordinator) persistLocked() {
 	if c.cfg.StateDir == "" {
 		return
 	}
-	doc := stateFile{Units: make([]stateEntry, 0, len(c.order))}
-	for _, id := range c.sortedIDs() {
-		r := c.units[id]
-		st := r.state
-		if st == UnitLeased || st == UnitHeartbeating {
-			st = UnitPending
-		}
-		doc.Units = append(doc.Units, stateEntry{
-			Unit:        r.unit,
-			State:       st,
-			Expiries:    r.expiries,
-			Failures:    r.failures,
-			Completions: r.completions,
-			Attempts:    r.attempts,
-			DurationMS:  r.durationMS,
-			Quarantine:  r.quarantine,
-		})
-	}
+	doc := stateFile{Units: c.entriesLocked()}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(c.cfg.Log, "sweepd: warning: state marshal failed: %v\n", err)
 		return
 	}
-	if err := runner.WriteFileAtomic(filepath.Join(c.cfg.StateDir, StateName), func(w io.Writer) error {
-		_, err := w.Write(append(data, '\n'))
-		return err
-	}); err != nil {
-		fmt.Fprintf(c.cfg.Log, "sweepd: warning: state checkpoint failed: %v\n", err)
+	err = vfs.WriteFileAtomic(c.cfg.FS, filepath.Join(c.cfg.StateDir, StateName), func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	})
+	if err != nil {
+		c.persistFailureLocked(err)
+		return
+	}
+	c.persistFails = 0
+}
+
+// persistUnitLocked makes one unit's transition durable: a single
+// journal record in journal mode, the legacy full rewrite otherwise.
+// Both paths share the escalation policy — persistent failure is not a
+// log line, it is a mode change (see persistFailureLocked).
+func (c *Coordinator) persistUnitLocked(r *unitRecord) {
+	if c.cfg.StateDir == "" {
+		return
+	}
+	if c.store == nil {
+		c.persistLocked()
+		return
+	}
+	if c.degraded {
+		// Already refusing leases; retrying per-transition would only
+		// thrash a disk we know is failing.
+		return
+	}
+	if err := c.persistEntryLocked(entryFor(r)); err != nil {
+		c.persistFailureLocked(err)
+		return
+	}
+	c.persistFails = 0
+}
+
+// persistEntryLocked appends one record, retrying by compaction: a
+// failed append poisons the journal file (it may hold a torn frame), so
+// each retry folds the full state — entry included — into a fresh
+// generation, which both persists the transition and heals the torn
+// file.
+func (c *Coordinator) persistEntryLocked(e stateEntry) error {
+	var err error
+	for attempt := 0; attempt <= c.cfg.PersistRetries; attempt++ {
+		if c.store.dirty {
+			if err = c.store.compact(c.entriesLocked()); err != nil {
+				continue
+			}
+			return nil // the compacted snapshot already includes e
+		}
+		if err = c.store.append(e); err != nil {
+			continue
+		}
+		if c.store.shouldCompact(c.cfg.SnapshotEvery) {
+			// Scheduled compaction; the record above is already durable,
+			// so a failure here only defers the fold (and marks the
+			// store dirty if the generation roll half-happened — the
+			// next transition's retry loop finishes the job).
+			if cerr := c.store.compact(c.entriesLocked()); cerr != nil {
+				fmt.Fprintf(c.cfg.Log, "sweepd: warning: journal compaction failed (will retry): %v\n", cerr)
+			}
+		}
+		return nil
+	}
+	return err
+}
+
+// persistFailureLocked counts a failed checkpoint transition and, past
+// the budget, trips degraded mode: no more leases, Wait returns
+// ErrDegraded, /v1/status says why. Crash-proof must not silently
+// become best-effort.
+func (c *Coordinator) persistFailureLocked(err error) {
+	c.persistFails++
+	fmt.Fprintf(c.cfg.Log, "sweepd: warning: state checkpoint failed (%d consecutive): %v\n", c.persistFails, err)
+	if c.persistFails >= c.cfg.PersistFailLimit && !c.degraded {
+		c.degraded = true
+		c.degradedReason = fmt.Sprintf("%d consecutive checkpoint failures, last: %v", c.persistFails, err)
+		fmt.Fprintf(c.cfg.Log, "sweepd: DEGRADED: %s — refusing new leases\n", c.degradedReason)
 	}
 }
 
-// restoreState folds a previous coordinator's sweep state into the
-// fresh unit table. Only entries whose unit (ID, experiment, seed,
-// quick) matches the current grid apply — a state file from a different
-// sweep configuration cannot mask this sweep's work. Returns how many
-// terminal outcomes were restored.
+// restoreState folds a previous coordinator's legacy sweep state into
+// the fresh unit table (cfg.LegacyState + Resume; journal mode restores
+// through openJournal instead). Returns how many terminal outcomes were
+// restored.
 func (c *Coordinator) restoreState() (int, error) {
-	path := filepath.Join(c.cfg.StateDir, StateName)
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return 0, nil // nothing to resume from
-	}
+	entries, err := readLegacyState(c.cfg.FS, c.cfg.StateDir)
 	if err != nil {
-		return 0, fmt.Errorf("sweepd: reading sweep state: %w", err)
+		return 0, err
 	}
-	var doc stateFile
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return 0, fmt.Errorf("sweepd: sweep state %s is corrupt: %w", path, err)
-	}
-	restored := 0
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, e := range doc.Units {
+	return c.applyEntriesLocked(entries), nil
+}
+
+// applyEntriesLocked replays recovered entries over the unit table.
+// Only entries whose unit (ID, experiment, seed, quick) matches the
+// current grid apply — state from a different sweep configuration
+// cannot mask this sweep's work. Returns how many terminal outcomes
+// were restored.
+func (c *Coordinator) applyEntriesLocked(entries []stateEntry) int {
+	restored := 0
+	for _, e := range entries {
 		r, ok := c.units[e.Unit.ID]
 		if !ok || r.unit != e.Unit {
 			continue
@@ -124,7 +208,7 @@ func (c *Coordinator) restoreState() (int, error) {
 			r.state = UnitPending
 		}
 	}
-	return restored, nil
+	return restored
 }
 
 // writeResultLocked persists a done unit's rendered report as
@@ -134,7 +218,7 @@ func (c *Coordinator) writeResultLocked(r *unitRecord) {
 		return
 	}
 	path := filepath.Join(c.cfg.StateDir, string(r.unit.ID)+".txt")
-	if err := runner.WriteFileAtomic(path, func(w io.Writer) error {
+	if err := vfs.WriteFileAtomic(c.cfg.FS, path, func(w io.Writer) error {
 		_, err := io.WriteString(w, r.result)
 		return err
 	}); err != nil {
@@ -161,7 +245,7 @@ func (c *Coordinator) writeCrashLocked(r *unitRecord, req CompleteRequest) {
 		art, _ = json.MarshalIndent(fallback, "", "  ")
 	}
 	path := filepath.Join(c.cfg.StateDir, fmt.Sprintf("%s.%d.crash.json", r.unit.ID, len(r.failures)))
-	if err := runner.WriteFileAtomic(path, func(w io.Writer) error {
+	if err := vfs.WriteFileAtomic(c.cfg.FS, path, func(w io.Writer) error {
 		_, err := w.Write(append(art, '\n'))
 		return err
 	}); err != nil {
@@ -201,7 +285,7 @@ func (c *Coordinator) writeQuarantineLocked(r *unitRecord) {
 	if err != nil {
 		return
 	}
-	if err := runner.WriteFileAtomic(QuarantinePath(c.cfg.StateDir, r.unit.ID), func(w io.Writer) error {
+	if err := vfs.WriteFileAtomic(c.cfg.FS, QuarantinePath(c.cfg.StateDir, r.unit.ID), func(w io.Writer) error {
 		_, err := w.Write(append(data, '\n'))
 		return err
 	}); err != nil {
@@ -262,7 +346,7 @@ func (c *Coordinator) writeManifestLocked() error {
 	if err != nil {
 		return err
 	}
-	return runner.WriteFileAtomic(filepath.Join(c.cfg.StateDir, runner.ManifestName), func(w io.Writer) error {
+	return vfs.WriteFileAtomic(c.cfg.FS, filepath.Join(c.cfg.StateDir, runner.ManifestName), func(w io.Writer) error {
 		_, err := w.Write(append(data, '\n'))
 		return err
 	})

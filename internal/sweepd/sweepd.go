@@ -114,6 +114,11 @@ type LeaseResponse struct {
 	// Draining means the coordinator is shutting down and grants
 	// nothing; workers should finish in-flight units and exit.
 	Draining bool `json:"draining,omitempty"`
+	// Degraded means the coordinator can no longer persist sweep state
+	// (checkpoint failures exhausted their retry budget) and refuses
+	// new leases rather than hand out work it could not resume.
+	// Workers should exit and surface the condition.
+	Degraded bool `json:"degraded,omitempty"`
 	// RetryAfterMillis hints when to poll again if no units were
 	// granted (pending units are in backoff or leased elsewhere).
 	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`

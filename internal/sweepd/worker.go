@@ -157,6 +157,12 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		backoff = 50 * time.Millisecond
+		if resp.Degraded {
+			// The coordinator can no longer persist state and is refusing
+			// leases; idling here would just hide the outage. Exit loudly.
+			fmt.Fprintf(w.cfg.Log, "%s: coordinator degraded, exiting\n", w.cfg.ID)
+			return ErrDegraded
+		}
 		if resp.Done || resp.Draining {
 			return nil
 		}
