@@ -53,9 +53,17 @@ func serveCmd(args []string) int {
 		retries  = fs.Int("retries", 0, "supervised retries per unit in loopback workers")
 		maxSteps = fs.Int64("max-steps", 0, "per-machine engine step budget in loopback workers (0 = none)")
 
-		chaosNet  = fs.Float64("chaos-net", 0, "network-fault intensity in [0,1] for the loopback transport (testing)")
-		chaosDisk = fs.Float64("chaos-disk", 0, "disk-fault intensity in [0,1] injected into all state-dir I/O (testing)")
-		chaosSeed = fs.Uint64("chaos-seed", 0xC0FFEE, "seed for the network/disk fault plans")
+		chaosNet      = fs.Float64("chaos-net", 0, "network-fault intensity in [0,1] for the loopback transport (testing)")
+		chaosDisk     = fs.Float64("chaos-disk", 0, "disk-fault intensity in [0,1] injected into all state-dir I/O (testing)")
+		chaosOverload = fs.Float64("chaos-overload", 0, "overload intensity in [0,1]: latency ramps and slow-loris trickles on the loopback transport (testing)")
+		chaosSeed     = fs.Uint64("chaos-seed", 0xC0FFEE, "seed for the network/disk/overload fault plans")
+
+		inflight  = fs.Int("inflight", 0, "admission cap: concurrent requests per endpoint (0 = 64)")
+		queueLen  = fs.Int("queue", 0, "admission queue: waiting requests per endpoint before shedding (0 = 4x inflight)")
+		queueWait = fs.Duration("queue-wait", 0, "longest a queued request waits before it is shed (0 = 1s)")
+		herd      = fs.Bool("herd", false, "release all loopback workers at the same instant (thundering-herd testing)")
+		batch     = fs.Bool("batch", false, "loopback workers deliver completions as per-round batches")
+		drainFor  = fs.Duration("drain", 5*time.Second, "HTTP shutdown drain deadline")
 
 		legacyState = fs.Bool("legacy-state", false, "persist state as the pre-journal sweep-state.json full rewrite (interop only)")
 	)
@@ -104,6 +112,16 @@ func serveCmd(args []string) int {
 		return 1
 	}
 	defer c.Close()
+
+	// The admission gate fronts both transports and feeds the brownout
+	// pressure signal into lease retry hints.
+	gate := sweepd.NewGate(sweepd.GateConfig{Default: sweepd.GateLimits{
+		Inflight:  *inflight,
+		Queue:     *queueLen,
+		QueueWait: *queueWait,
+	}})
+	c.AttachGate(gate)
+
 	if salv := c.Salvage(); salv != nil {
 		fmt.Fprintf(os.Stderr, "ufsim serve: LOSSY RECOVERY (%s): %s (report: %s)\n",
 			salv.Kind, salv.Detail, filepath.Join(*artifacts, sweepd.SalvageName))
@@ -150,6 +168,10 @@ func serveCmd(args []string) int {
 		if *chaosNet > 0 {
 			plan = faults.NewNetPlan(faults.DefaultNetConfig(*chaosNet), *chaosSeed)
 		}
+		var overload *faults.OverloadPlan
+		if *chaosOverload > 0 {
+			overload = faults.NewOverloadPlan(faults.DefaultOverloadConfig(*chaosOverload), *chaosSeed)
+		}
 		base := runner.Config{
 			Timeout:        *timeout,
 			Retries:        *retries,
@@ -157,15 +179,22 @@ func serveCmd(args []string) int {
 			ArtifactDir:    *artifacts,
 		}
 		rep := sweepd.RunFleet(ctx, c, sweepd.FleetConfig{
-			Workers:   *loopback,
-			Jobs:      *jobs,
-			NewRunner: func(string) sweepd.UnitRunner { return sweepd.ExperimentRunner(base) },
-			Plan:      plan,
-			Respawn:   plan != nil,
-			Log:       os.Stderr,
+			Workers:        *loopback,
+			Jobs:           *jobs,
+			NewRunner:      func(string) sweepd.UnitRunner { return sweepd.ExperimentRunner(base) },
+			Plan:           plan,
+			Overload:       overload,
+			Gate:           gate,
+			HerdStart:      *herd,
+			BatchCompletes: *batch,
+			Respawn:        plan != nil,
+			Log:            os.Stderr,
 		})
 		if plan != nil {
 			fmt.Fprintf(os.Stderr, "ufsim serve: chaos stats: %+v (fleet %+v)\n", plan.Stats(), rep)
+		}
+		if overload != nil {
+			fmt.Fprintf(os.Stderr, "ufsim serve: overload stats: %+v (gate %+v)\n", overload.Stats(), gate.Stats())
 		}
 		if diskPlan != nil {
 			fmt.Fprintf(os.Stderr, "ufsim serve: disk chaos stats: %+v\n", diskPlan.Stats())
@@ -173,7 +202,8 @@ func serveCmd(args []string) int {
 		return finishSweep(c, *artifacts, drained(signalled))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: sweepd.NewServer(c)}
+	handler := sweepd.NewServer(c, sweepd.ServerConfig{Gate: gate, Log: os.Stderr})
+	srv := sweepd.NewHTTPServer(*addr, handler, sweepd.HTTPTimeouts{})
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.ListenAndServe() }()
 	hint := *addr
@@ -197,7 +227,9 @@ func serveCmd(args []string) int {
 			}
 		}
 	}
-	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful drain: stop accepting, let in-flight requests land their
+	// responses, and only hard-close past the deadline.
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainFor)
 	defer shutCancel()
 	srv.Shutdown(shutCtx)
 	select {
@@ -231,6 +263,13 @@ func drained(ch <-chan struct{}) bool {
 func finishSweep(c *sweepd.Coordinator, artifacts string, signalled bool) int {
 	if err := c.WriteManifest(); err != nil {
 		fmt.Fprintf(os.Stderr, "ufsim serve: writing manifest: %v\n", err)
+	}
+	// Final status snapshot (unit states plus shed/queue/breaker
+	// counters when a gate is attached) — what CI uploads.
+	if data, err := c.StatusJSON(); err == nil {
+		if werr := os.WriteFile(filepath.Join(artifacts, "status-final.json"), append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "ufsim serve: writing final status: %v\n", werr)
+		}
 	}
 	if deg, reason := c.Degraded(); deg {
 		fmt.Fprintf(os.Stderr, "ufsim serve: DEGRADED: %s\n", reason)
@@ -276,6 +315,11 @@ func workerCmd(args []string) int {
 		retries  = fs.Int("retries", 0, "supervised retries per unit (each reseeded)")
 		maxSteps = fs.Int64("max-steps", 0, "per-machine engine step budget (0 = none)")
 		scratch  = fs.String("artifacts", "", "local scratch dir for crash artifacts (shipped to the coordinator regardless)")
+
+		batch     = fs.Bool("batch", false, "deliver each lease round's completions as one batched request")
+		retryBase = fs.Duration("retry-base", 50*time.Millisecond, "first rung of the jittered transport retry backoff")
+		brkAfter  = fs.Int("breaker-after", 8, "consecutive transport failures before the circuit breaker opens (negative disables)")
+		brkCool   = fs.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker waits before probing the coordinator")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ufsim worker -coordinator URL [-id NAME] [-jobs N] ...")
@@ -311,8 +355,12 @@ func workerCmd(args []string) int {
 			MaxEngineSteps: *maxSteps,
 			ArtifactDir:    *scratch,
 		}),
-		Jobs: *jobs,
-		Log:  os.Stderr,
+		Jobs:            *jobs,
+		RetryBase:       *retryBase,
+		BatchCompletes:  *batch,
+		BreakerAfter:    *brkAfter,
+		BreakerCooldown: *brkCool,
+		Log:             os.Stderr,
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())

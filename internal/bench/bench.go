@@ -63,6 +63,9 @@ type Result struct {
 	// Source is "bench" for registry cases and "go test" for results
 	// merged from a parsed `go test -bench` run.
 	Source string `json:"source,omitempty"`
+	// Extra carries the case's custom b.ReportMetric values (e.g.
+	// sweepd-complete-batched's completion round trips per unit).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the BENCH_<date>.json document.
@@ -97,6 +100,7 @@ func Cases() []Case {
 		{Name: "trial-sync-quick", Trial: true, Long: true, Fn: benchTrialSync},
 		{Name: "trial-rel-quick", Trial: true, Long: true, Fn: benchTrialRel},
 		{Name: "sweepd-loopback", Long: true, Fn: benchSweepdLoopback},
+		{Name: "sweepd-complete-batched", Long: true, Fn: benchSweepdCompleteBatched},
 		{Name: "sweepd-journal-append-512", Long: true, Fn: benchSweepdJournalAppend},
 		{Name: "sweepd-rewrite-512", Long: true, Fn: benchSweepdRewrite},
 	}
@@ -145,6 +149,12 @@ func normalize(c Case, res testing.BenchmarkResult) Result {
 	}
 	if c.Trial && r.NsPerOp > 0 {
 		r.TrialsPerSec = 1e9 / r.NsPerOp
+	}
+	if len(res.Extra) > 0 {
+		r.Extra = make(map[string]float64, len(res.Extra))
+		for k, v := range res.Extra {
+			r.Extra[k] = v
+		}
 	}
 	return r
 }
@@ -309,7 +319,17 @@ func benchTrialRel(b *testing.B)  { benchTrial(b, "rel") }
 // by four loopback workers with trivial unit bodies, so the number is
 // pure protocol overhead — lease grants, heartbeat bookkeeping,
 // completion merges, and state transitions — not experiment time.
-func benchSweepdLoopback(b *testing.B) {
+func benchSweepdLoopback(b *testing.B) { benchSweepdFleet(b, false) }
+
+// benchSweepdCompleteBatched is the same sweep with batched completion
+// delivery: each lease round's outcomes ship as one CompleteBatch
+// (one coordinator lock acquisition, one group-committed persist)
+// instead of one Complete per unit. The delta against sweepd-loopback
+// is what completion pipelining saves in coordinator round trips per
+// completed unit.
+func benchSweepdCompleteBatched(b *testing.B) { benchSweepdFleet(b, true) }
+
+func benchSweepdFleet(b *testing.B, batch bool) {
 	units := make([]sweepd.Unit, 64)
 	for i := range units {
 		units[i] = sweepd.Unit{
@@ -321,6 +341,7 @@ func benchSweepdLoopback(b *testing.B) {
 		progress("tick")
 		return sweepd.UnitResult{OK: true, Result: "ok"}
 	}
+	var completeRPCs int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -328,16 +349,36 @@ func benchSweepdLoopback(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sweepd.RunFleet(context.Background(), c, sweepd.FleetConfig{
+		cfg := sweepd.FleetConfig{
 			Workers: 4, Jobs: 4,
-			NewRunner: func(string) sweepd.UnitRunner { return run },
-			PollMax:   10 * time.Millisecond,
-		})
+			NewRunner:      func(string) sweepd.UnitRunner { return run },
+			BatchCompletes: batch,
+			PollMax:        10 * time.Millisecond,
+		}
+		var gate *sweepd.Gate
+		if batch {
+			// A wide-open gate (nothing queues, nothing sheds) rides along
+			// purely as the RPC counter: its complete-endpoint admissions
+			// are exactly the completion round trips. The unbatched case
+			// is 1/unit by construction, so the reported metric below is
+			// the pipelining win.
+			gate = sweepd.NewGate(sweepd.GateConfig{
+				Default: sweepd.GateLimits{Inflight: 4096, Queue: 4096, QueueWait: time.Minute},
+			})
+			cfg.Gate = gate
+		}
+		sweepd.RunFleet(context.Background(), c, cfg)
 		select {
 		case <-c.Done():
 		default:
 			b.Fatal("sweep incomplete")
 		}
+		if gate != nil {
+			completeRPCs += gate.Stats().Endpoints[sweepd.EndpointComplete].Admitted
+		}
+	}
+	if batch {
+		b.ReportMetric(float64(completeRPCs)/float64(b.N*len(units)), "complete-rpc/unit")
 	}
 }
 

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadPlanDeterministic: the same (seed, worker, call times)
+// produce byte-identical stall sequences — the reproducibility contract
+// every fault plan in this package shares.
+func TestOverloadPlanDeterministic(t *testing.T) {
+	cfg := DefaultOverloadConfig(1.0)
+	base := time.Unix(1000, 0)
+	run := func() []time.Duration {
+		p := NewOverloadPlan(cfg, 42)
+		var out []time.Duration
+		for i := 0; i < 200; i++ {
+			now := base.Add(time.Duration(i) * 7 * time.Millisecond)
+			out = append(out, p.Next("w1", now), p.Next("w2", now))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stall %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestOverloadPlanRampShape: stalls near the crest of the sawtooth are
+// larger than stalls near its foot, and the foot is (near) zero.
+func TestOverloadPlanRampShape(t *testing.T) {
+	cfg := OverloadConfig{RampPeriod: time.Second, DelayMax: 20 * time.Millisecond}
+	p := NewOverloadPlan(cfg, 7)
+	base := time.Unix(2000, 0)
+	p.Next("w", base) // anchors the epoch
+
+	foot := p.Next("w", base.Add(time.Second+10*time.Millisecond))   // 1% into period 2
+	crest := p.Next("w", base.Add(time.Second+990*time.Millisecond)) // 99% in
+	if foot >= crest {
+		t.Fatalf("ramp not rising: foot %v >= crest %v", foot, crest)
+	}
+	if crest < 5*time.Millisecond {
+		t.Fatalf("crest stall %v implausibly small for DelayMax=20ms", crest)
+	}
+}
+
+// TestOverloadPlanTrickle: with trickle probability 1 every call stalls
+// at least TrickleFor, and the stats count it.
+func TestOverloadPlanTrickle(t *testing.T) {
+	cfg := OverloadConfig{TrickleProb: 1, TrickleFor: 100 * time.Millisecond}
+	p := NewOverloadPlan(cfg, 9)
+	now := time.Unix(3000, 0)
+	for i := 0; i < 10; i++ {
+		if d := p.Next("w", now); d < cfg.TrickleFor {
+			t.Fatalf("call %d stalled %v, want >= %v", i, d, cfg.TrickleFor)
+		}
+	}
+	st := p.Stats()
+	if st.Trickled != 10 || st.Calls != 10 {
+		t.Fatalf("stats: %+v, want 10 trickled of 10", st)
+	}
+	if st.TotalStall < 10*cfg.TrickleFor {
+		t.Fatalf("total stall %v < 10×%v", st.TotalStall, cfg.TrickleFor)
+	}
+}
+
+// TestOverloadPlanZeroConfig: the zero config injects nothing.
+func TestOverloadPlanZeroConfig(t *testing.T) {
+	p := NewOverloadPlan(OverloadConfig{}, 1)
+	now := time.Unix(4000, 0)
+	for i := 0; i < 50; i++ {
+		if d := p.Next("w", now.Add(time.Duration(i)*time.Millisecond)); d != 0 {
+			t.Fatalf("zero config injected a %v stall", d)
+		}
+	}
+}

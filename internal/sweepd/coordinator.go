@@ -179,6 +179,10 @@ type Coordinator struct {
 	persistFails   int
 	degraded       bool
 	degradedReason string
+	// gate, when attached, supplies the overload pressure that
+	// stretches lease RetryAfterMillis (brownout) and the admission
+	// counters surfaced in Status.
+	gate *Gate
 	// doneCh closes when every unit is terminal.
 	doneCh   chan struct{}
 	doneOnce sync.Once
@@ -257,6 +261,16 @@ func (c *Coordinator) Close() error {
 	return c.store.Close()
 }
 
+// AttachGate connects an admission gate: its queue pressure stretches
+// the lease RetryAfterMillis hint (brownout before blackout) and its
+// counters appear in Snapshot/StatusJSON. Attach before serving
+// traffic.
+func (c *Coordinator) AttachGate(g *Gate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gate = g
+}
+
 // Degraded reports whether the coordinator has stopped granting leases
 // because sweep state can no longer be persisted, and why.
 func (c *Coordinator) Degraded() (bool, string) {
@@ -330,6 +344,12 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 		if retry < time.Millisecond {
 			retry = time.Millisecond
 		}
+		if c.gate != nil {
+			// Brownout: stretch the poll hint as admission queues fill,
+			// shaping the herd's cadence down *before* the gate has to
+			// shed anything. At full pressure polls arrive 4× slower.
+			retry = time.Duration(float64(retry) * (1 + 3*c.gate.Pressure()))
+		}
 		resp.RetryAfterMillis = retry.Milliseconds()
 	} else if c.store == nil {
 		// Legacy checkpoint: the full rewrite happens on every
@@ -382,55 +402,95 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	defer c.mu.Unlock()
 	c.reapLocked(now)
 
-	r, ok := c.units[req.Unit]
+	accepted, changed := c.completeOneLocked(now, req.Worker, CompletedUnit{
+		Unit: req.Unit, Epoch: req.Epoch, OK: req.OK, Result: req.Result,
+		Error: req.Error, Artifact: req.Artifact, Attempts: req.Attempts,
+		DurationMS: req.DurationMS,
+	})
+	if changed != nil {
+		c.persistUnitLocked(changed)
+	}
+	c.checkDoneLocked()
+	return CompleteResponse{Accepted: accepted}
+}
+
+// CompleteBatch merges several outcomes from one worker under a single
+// lock acquisition, one reap, and — in journal mode — one group-commit
+// fsync, so a herd of finishing workers costs one round trip per worker
+// instead of one per unit. Per-entry semantics are exactly Complete's.
+func (c *Coordinator) CompleteBatch(req CompleteBatchRequest) CompleteBatchResponse {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	resp := CompleteBatchResponse{Accepted: make([]bool, len(req.Units))}
+	var changed []*unitRecord
+	for i, cu := range req.Units {
+		ok, ch := c.completeOneLocked(now, req.Worker, cu)
+		resp.Accepted[i] = ok
+		if ch != nil {
+			changed = append(changed, ch)
+		}
+	}
+	c.persistUnitsLocked(changed)
+	c.checkDoneLocked()
+	return resp
+}
+
+// completeOneLocked merges one outcome: the single source of truth for
+// fencing and idempotency, shared by Complete and CompleteBatch. It
+// returns whether the outcome was accepted and, when the unit's durable
+// state changed, the record the caller must persist (singly or as part
+// of a batch group-commit).
+func (c *Coordinator) completeOneLocked(now time.Time, worker string, cu CompletedUnit) (accepted bool, changed *unitRecord) {
+	r, ok := c.units[cu.Unit]
 	if !ok {
-		return CompleteResponse{}
+		return false, nil
 	}
 	if r.state.Terminal() {
 		// Idempotent ack for the worker whose earlier delivery merged
 		// but whose response was lost; anyone else is fenced off.
-		return CompleteResponse{Accepted: r.epoch == req.Epoch && r.worker == req.Worker}
+		return r.epoch == cu.Epoch && r.worker == worker, nil
 	}
-	if r.epoch != req.Epoch || r.worker != req.Worker {
-		return CompleteResponse{}
+	if r.epoch != cu.Epoch || r.worker != worker {
+		return false, nil
 	}
 	// Note a pending unit can land here: its lease expired (reaped
 	// above) but it has not been re-leased, so the epoch still matches.
 	// The work is real and unduplicated — merge it.
-	if req.OK {
+	if cu.OK {
 		r.state = UnitDone
 		r.merged = true
 		r.completions++
-		r.result = req.Result
-		r.attempts = req.Attempts
-		r.durationMS = req.DurationMS
-		fmt.Fprintf(c.cfg.Log, "sweepd: %s done by %s (epoch %d, %d attempt(s))\n", r.unit.ID, req.Worker, req.Epoch, req.Attempts)
+		r.result = cu.Result
+		r.attempts = cu.Attempts
+		r.durationMS = cu.DurationMS
+		fmt.Fprintf(c.cfg.Log, "sweepd: %s done by %s (epoch %d, %d attempt(s))\n", r.unit.ID, worker, cu.Epoch, cu.Attempts)
 		c.writeResultLocked(r)
-	} else {
-		// A redelivered failure (the worker's response was dropped and
-		// it retried under the same lease) must not double-count.
-		for _, f := range r.failures {
-			if f.Worker == req.Worker && f.Epoch == req.Epoch {
-				return CompleteResponse{Accepted: true}
-			}
-		}
-		r.failures = append(r.failures, UnitFailure{Worker: req.Worker, Epoch: req.Epoch, Error: req.Error, Attempts: req.Attempts})
-		r.distinct[req.Worker] = true
-		c.writeCrashLocked(r, req)
-		if len(r.distinct) >= c.cfg.QuarantineAfter {
-			c.quarantineLocked(r, fmt.Sprintf("failed on %d distinct worker(s)", len(r.distinct)))
-		} else {
-			// Back to pending behind a backoff window; the next lease
-			// bumps the epoch and fences this one off.
-			r.state = UnitPending
-			r.expiry = time.Time{}
-			c.benchLocked(r, now, len(r.failures))
-			fmt.Fprintf(c.cfg.Log, "sweepd: %s failed on %s (%d distinct worker(s)); retrying after backoff\n", r.unit.ID, req.Worker, len(r.distinct))
+		return true, r
+	}
+	// A redelivered failure (the worker's response was dropped and
+	// it retried under the same lease) must not double-count.
+	for _, f := range r.failures {
+		if f.Worker == worker && f.Epoch == cu.Epoch {
+			return true, nil
 		}
 	}
-	c.persistUnitLocked(r)
-	c.checkDoneLocked()
-	return CompleteResponse{Accepted: true}
+	r.failures = append(r.failures, UnitFailure{Worker: worker, Epoch: cu.Epoch, Error: cu.Error, Attempts: cu.Attempts})
+	r.distinct[worker] = true
+	c.writeCrashLocked(r, worker, cu)
+	if len(r.distinct) >= c.cfg.QuarantineAfter {
+		c.quarantineLocked(r, fmt.Sprintf("failed on %d distinct worker(s)", len(r.distinct)))
+	} else {
+		// Back to pending behind a backoff window; the next lease
+		// bumps the epoch and fences this one off.
+		r.state = UnitPending
+		r.expiry = time.Time{}
+		c.benchLocked(r, now, len(r.failures))
+		fmt.Fprintf(c.cfg.Log, "sweepd: %s failed on %s (%d distinct worker(s)); retrying after backoff\n", r.unit.ID, worker, len(r.distinct))
+	}
+	return true, r
 }
 
 // Release voluntarily returns leases; stale epochs are ignored. A
@@ -647,6 +707,9 @@ type Status struct {
 	Degraded       bool         `json:"degraded,omitempty"`
 	DegradedReason string       `json:"degraded_reason,omitempty"`
 	Units          []UnitStatus `json:"units"`
+	// Overload carries the attached admission gate's shed/queue/breaker
+	// counters; nil when no gate is attached.
+	Overload *OverloadStats `json:"overload,omitempty"`
 }
 
 // Snapshot returns the current sweep status, reaping first so the view
@@ -658,6 +721,10 @@ func (c *Coordinator) Snapshot() Status {
 	c.reapLocked(now)
 
 	st := Status{Draining: c.draining, Degraded: c.degraded, DegradedReason: c.degradedReason}
+	if c.gate != nil {
+		o := c.gate.Stats()
+		st.Overload = &o
+	}
 	for _, id := range c.order {
 		r := c.units[id]
 		switch r.state {

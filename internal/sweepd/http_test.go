@@ -1,0 +1,326 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPServerSlowLorisClosed: NewHTTPServer's ReadHeaderTimeout
+// evicts a connection that dribbles its headers forever, and the server
+// keeps serving honest clients afterward. httptest.Server builds its
+// own http.Server, so this test runs the real constructor on a real
+// listener — the exact configuration `ufsim serve` uses.
+func TestHTTPServerSlowLorisClosed(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{}, testUnits(1))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewHTTPServer("", NewServer(c, ServerConfig{}), HTTPTimeouts{
+		ReadHeader: 150 * time.Millisecond,
+	})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// The loris: open a connection, send half a request line, then hold.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/lease HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatalf("writing partial headers: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, err := conn.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatalf("read %d bytes; expected the server to close the dribbling connection", n)
+	}
+
+	// An honest request on a fresh connection still gets served.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/status")
+	if err != nil {
+		t.Fatalf("healthy request after loris eviction: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after loris eviction: %s", resp.Status)
+	}
+}
+
+// TestHTTPTimeoutsDefaults: the zero HTTPTimeouts value resolves to the
+// documented defaults, and NewHTTPServer installs all four.
+func TestHTTPTimeoutsDefaults(t *testing.T) {
+	srv := NewHTTPServer(":0", http.NotFoundHandler(), HTTPTimeouts{})
+	if srv.ReadHeaderTimeout != 5*time.Second || srv.ReadTimeout != time.Minute ||
+		srv.WriteTimeout != time.Minute || srv.IdleTimeout != 2*time.Minute {
+		t.Fatalf("default timeouts: header=%v read=%v write=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout, srv.IdleTimeout)
+	}
+}
+
+// TestHandlerPanicBecomes500: a panicking handler yields a 500 with the
+// stack logged, not a killed connection.
+func TestHandlerPanicBecomes500(t *testing.T) {
+	var mu sync.Mutex
+	var logBuf bytes.Buffer
+	locked := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logBuf.Write(p)
+	})
+	h := recovered(locked, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("coordinator bug")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/lease")
+	if err != nil {
+		t.Fatalf("request to panicking handler: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %s, want 500", resp.Status)
+	}
+	mu.Lock()
+	logged := logBuf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "panic serving GET /v1/lease: coordinator bug") {
+		t.Fatalf("panic not identified in log: %q", logged)
+	}
+	if !strings.Contains(logged, "goroutine") {
+		t.Fatalf("no stack in panic log: %q", logged)
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestHTTP429PropagatesOverloadError: a shed request comes back over
+// the wire as 429 + Retry-After + JSON hint, and HTTPClient rebuilds
+// the same *OverloadError the loopback transport would have returned —
+// so worker backoff cannot tell the transports apart.
+func TestHTTP429PropagatesOverloadError(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{}, testUnits(2))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	gate := NewGate(GateConfig{
+		PerEndpoint: map[string]GateLimits{
+			EndpointLease: {Inflight: 1, Queue: 1, QueueWait: time.Minute},
+		},
+	})
+	srv := httptest.NewServer(NewServer(c, ServerConfig{Gate: gate}))
+	defer srv.Close()
+
+	// Saturate lease admission from inside: hold the slot and the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rel, err := gate.Acquire(ctx, EndpointLease)
+	if err != nil {
+		t.Fatalf("holding the slot: %v", err)
+	}
+	defer rel()
+	go gate.Acquire(ctx, EndpointLease)
+	waitForQueued(t, gate, EndpointLease, 1)
+
+	// Raw HTTP first: the response shape is part of the protocol.
+	resp, err := http.Post(srv.URL+"/v1/lease", "application/json", strings.NewReader(`{"worker":"w","max":1}`))
+	if err != nil {
+		t.Fatalf("POST /v1/lease: %v", err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed request answered %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var sb shedBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil || sb.RetryAfterMS <= 0 {
+		t.Fatalf("shed body %+v (err %v), want a positive retry_after_ms", sb, err)
+	}
+	resp.Body.Close()
+
+	// Now through HTTPClient: the typed error round-trips.
+	hc := &HTTPClient{Base: srv.URL}
+	_, err = hc.Lease(context.Background(), LeaseRequest{Worker: "w", Max: 1})
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("HTTPClient.Lease returned %v, want *OverloadError", err)
+	}
+	if oe.Endpoint != "lease" {
+		t.Fatalf("rebuilt endpoint %q, want lease", oe.Endpoint)
+	}
+	// Queue is saturated, so the server hint is 1.25×QueueWait; the
+	// client must carry the body's precise value, not the coarse header.
+	if want := time.Duration(sb.RetryAfterMS) * time.Millisecond; oe.RetryAfter != want {
+		t.Fatalf("rebuilt RetryAfter %v, want the body hint %v", oe.RetryAfter, want)
+	}
+
+	// Heartbeat is a different endpoint and stays open.
+	if _, err := hc.Heartbeat(context.Background(), HeartbeatRequest{Worker: "w"}); err != nil {
+		t.Fatalf("heartbeat while lease overloaded: %v", err)
+	}
+}
+
+// hintClock records every Sleep a worker performs without actually
+// sleeping, so a test can inspect how the worker honored a hint.
+type hintClock struct {
+	sleeps chan time.Duration
+}
+
+func (h *hintClock) Now() time.Time { return time.Now() }
+
+func (h *hintClock) Sleep(ctx context.Context, d time.Duration) error {
+	select {
+	case h.sleeps <- d:
+	default:
+	}
+	return ctx.Err()
+}
+
+// TestWorkerHonorsRetryAfterOverHTTP: an idle coordinator's lease hint
+// (RetryAfterMillis) survives the HTTP round trip and the worker sleeps
+// within [hint, 1.5×hint] — the stretch band that keeps a shared hint
+// from re-synchronizing the herd.
+func TestWorkerHonorsRetryAfterOverHTTP(t *testing.T) {
+	const ttl = 3 * time.Second
+	c, err := NewCoordinator(CoordinatorConfig{LeaseTTL: ttl}, testUnits(2))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	// Another worker holds every unit, so a lease grants nothing and
+	// hints TTL/3 — the reap cadence.
+	if got := c.Lease(LeaseRequest{Worker: "hog", Max: 2}); len(got.Units) != 2 {
+		t.Fatalf("hog leased %d units, want 2", len(got.Units))
+	}
+	srv := httptest.NewServer(NewServer(c, ServerConfig{}))
+	defer srv.Close()
+
+	clk := &hintClock{sleeps: make(chan time.Duration, 1)}
+	w := NewWorker(WorkerConfig{
+		ID:     "patient",
+		Client: &HTTPClient{Base: srv.URL},
+		Run: func(ctx context.Context, u Unit, progress func(string)) UnitResult {
+			t.Error("no unit should be grantable")
+			return UnitResult{}
+		},
+		Clock:   clk,
+		PollMax: 10 * time.Second, // far above the hint: the hint must win
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	var slept time.Duration
+	select {
+	case slept = <-clk.sleeps:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never slept on the idle hint")
+	}
+	cancel()
+	<-done
+
+	hint := ttl / 3
+	if slept < hint || slept > hint+hint/2 {
+		t.Fatalf("worker slept %v on a %v hint, want within [hint, 1.5×hint]", slept, hint)
+	}
+}
+
+// TestConcurrentStatusUnderTraffic: GET /v1/status races protocol
+// traffic (with the gate attached, so the overload section is built
+// too) without data races or torn snapshots. Meaningful under -race.
+func TestConcurrentStatusUnderTraffic(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{}, testUnits(24))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	gate := NewGate(GateConfig{Default: GateLimits{Inflight: 8}})
+	c.AttachGate(gate)
+	srv := httptest.NewServer(NewServer(c, ServerConfig{Gate: gate}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Status hammerers run until the sweep finishes.
+	var statusReads atomic.Int64
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/v1/status")
+				if err != nil {
+					continue
+				}
+				var st Status
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("torn status snapshot: %v", err)
+					return
+				}
+				if st.Overload == nil {
+					t.Error("status without overload section while gate attached")
+					return
+				}
+				statusReads.Add(1)
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	exec := map[UnitID]int{}
+	var workers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("w%d", i)
+		w := NewWorker(WorkerConfig{
+			ID: id, Client: &HTTPClient{Base: srv.URL},
+			Run: okRunner(&mu, exec)(id), Jobs: 2,
+		})
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker %s: %v", id, err)
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	pollers.Wait()
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatalf("sweep not done: %+v", c.Snapshot())
+	}
+	if statusReads.Load() == 0 {
+		t.Fatal("no status snapshot was read during traffic")
+	}
+}

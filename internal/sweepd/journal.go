@@ -371,6 +371,34 @@ func (js *journalStore) append(e stateEntry) error {
 	return nil
 }
 
+// appendAll group-commits a batch of transitions: every record's frame
+// in one write, then one fsync — batch durability at single-record disk
+// latency. Failure poisons the handle exactly like append: a torn frame
+// anywhere in the batch makes everything after it untrustworthy.
+func (js *journalStore) appendAll(entries []stateEntry) error {
+	if js.dirty {
+		return errWalDirty
+	}
+	var buf []byte
+	for _, e := range entries {
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, encodeFrame(payload)...)
+	}
+	if _, err := js.wal.Write(buf); err != nil {
+		js.dirty = true
+		return err
+	}
+	if err := js.wal.Sync(); err != nil {
+		js.dirty = true
+		return err
+	}
+	js.appended += len(entries)
+	return nil
+}
+
 // shouldCompact reports whether the journal tail has grown enough that
 // folding it into a snapshot is worth the O(units) write.
 func (js *journalStore) shouldCompact(every int) bool {

@@ -116,6 +116,60 @@ func (c *Coordinator) persistUnitLocked(r *unitRecord) {
 	c.persistFails = 0
 }
 
+// persistUnitsLocked makes a batch of transitions durable in one
+// group-commit: all records appended to the journal under a single
+// fsync, so a CompleteBatch of N outcomes costs the same disk latency
+// as one. Failure policy matches persistUnitLocked — a failed batch is
+// one failed checkpoint transition, not N.
+func (c *Coordinator) persistUnitsLocked(rs []*unitRecord) {
+	if len(rs) == 0 || c.cfg.StateDir == "" {
+		return
+	}
+	if c.store == nil {
+		// Legacy full rewrite: one rewrite already covers every unit.
+		c.persistLocked()
+		return
+	}
+	if c.degraded {
+		return
+	}
+	entries := make([]stateEntry, len(rs))
+	for i, r := range rs {
+		entries[i] = entryFor(r)
+	}
+	if err := c.persistEntriesLocked(entries); err != nil {
+		c.persistFailureLocked(err)
+		return
+	}
+	c.persistFails = 0
+}
+
+// persistEntriesLocked group-commits a batch of records with the same
+// retry-by-compaction policy as persistEntryLocked: a failed append
+// poisons the journal, and each retry folds the full state — batch
+// included — into a fresh generation.
+func (c *Coordinator) persistEntriesLocked(entries []stateEntry) error {
+	var err error
+	for attempt := 0; attempt <= c.cfg.PersistRetries; attempt++ {
+		if c.store.dirty {
+			if err = c.store.compact(c.entriesLocked()); err != nil {
+				continue
+			}
+			return nil // the compacted snapshot already includes the batch
+		}
+		if err = c.store.appendAll(entries); err != nil {
+			continue
+		}
+		if c.store.shouldCompact(c.cfg.SnapshotEvery) {
+			if cerr := c.store.compact(c.entriesLocked()); cerr != nil {
+				fmt.Fprintf(c.cfg.Log, "sweepd: warning: journal compaction failed (will retry): %v\n", cerr)
+			}
+		}
+		return nil
+	}
+	return err
+}
+
 // persistEntryLocked appends one record, retrying by compaction: a
 // failed append poisons the journal file (it may hold a torn frame), so
 // each retry folds the full state — entry included — into a fresh
@@ -230,18 +284,18 @@ func (c *Coordinator) writeResultLocked(r *unitRecord) {
 // shard: <id>.<n>.crash.json for the unit's nth failure, verbatim as
 // the worker shipped it (the runner's Artifact JSON), or a minimal
 // record when the worker had none.
-func (c *Coordinator) writeCrashLocked(r *unitRecord, req CompleteRequest) {
+func (c *Coordinator) writeCrashLocked(r *unitRecord, worker string, cu CompletedUnit) {
 	if c.cfg.StateDir == "" {
 		return
 	}
-	art := req.Artifact
+	art := cu.Artifact
 	if len(art) == 0 {
 		fallback := struct {
 			Experiment string `json:"experiment"`
 			Worker     string `json:"worker"`
 			Error      string `json:"error"`
 			Attempts   int    `json:"attempts"`
-		}{string(r.unit.ID), req.Worker, req.Error, req.Attempts}
+		}{string(r.unit.ID), worker, cu.Error, cu.Attempts}
 		art, _ = json.MarshalIndent(fallback, "", "  ")
 	}
 	path := filepath.Join(c.cfg.StateDir, fmt.Sprintf("%s.%d.crash.json", r.unit.ID, len(r.failures)))

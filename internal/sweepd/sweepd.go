@@ -171,6 +171,37 @@ type CompleteResponse struct {
 	Accepted bool `json:"accepted"`
 }
 
+// CompletedUnit is one unit's outcome inside a batched completion —
+// the same payload as CompleteRequest minus the worker, which is
+// shared by the whole batch.
+type CompletedUnit struct {
+	Unit       UnitID          `json:"unit"`
+	Epoch      uint64          `json:"epoch"`
+	OK         bool            `json:"ok"`
+	Result     string          `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Artifact   json.RawMessage `json:"artifact,omitempty"`
+	Attempts   int             `json:"attempts,omitempty"`
+	DurationMS int64           `json:"duration_ms,omitempty"`
+}
+
+// CompleteBatchRequest delivers several unit outcomes in one round
+// trip — the first rung of completion pipelining: a herd of finishing
+// workers costs one request per worker instead of one per unit, and
+// the coordinator merges the batch under a single lock acquisition
+// (and, in journal mode, a single fsync).
+type CompleteBatchRequest struct {
+	Worker string          `json:"worker"`
+	Units  []CompletedUnit `json:"units"`
+}
+
+// CompleteBatchResponse reports each outcome's fate, parallel to the
+// request's Units. Semantics per entry are identical to
+// CompleteResponse: false means the epoch was fenced off.
+type CompleteBatchResponse struct {
+	Accepted []bool `json:"accepted"`
+}
+
 // UnitEpoch identifies one lease in a release request.
 type UnitEpoch struct {
 	Unit  UnitID `json:"unit"`
@@ -198,6 +229,7 @@ type Client interface {
 	Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error)
 	Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error)
 	Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error)
+	CompleteBatch(ctx context.Context, req CompleteBatchRequest) (CompleteBatchResponse, error)
 	Release(ctx context.Context, req ReleaseRequest) (ReleaseResponse, error)
 }
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // UnitResult is what a UnitRunner produces for one unit.
@@ -37,6 +39,12 @@ type UnitRunner func(ctx context.Context, u Unit, progress func(note string)) Un
 // releasing anything, exactly the crash lease expiry exists to absorb.
 var ErrKilled = errors.New("sweepd: worker killed by chaos schedule")
 
+// ErrBreakerOpen is the circuit breaker's fast-fail: the coordinator
+// has failed enough consecutive calls that hammering it would only
+// deepen the outage, so calls are refused locally until the cooldown
+// admits a probe.
+var ErrBreakerOpen = errors.New("sweepd: circuit breaker open; coordinator not probed")
+
 // WorkerConfig tunes one worker.
 type WorkerConfig struct {
 	// ID names the worker in leases and failure records.
@@ -52,10 +60,31 @@ type WorkerConfig struct {
 	Jobs int
 	// PollMax caps the idle backoff between lease polls; zero means 2s.
 	PollMax time.Duration
+	// RetryBase is the first rung of the jittered exponential transport
+	// backoff; zero means 50ms.
+	RetryBase time.Duration
+	// Seed feeds the jitter stream; zero derives one from ID, so a
+	// fleet of workers started identically still spreads its retries.
+	Seed uint64
 	// CompleteRetries is how many times a failed Complete delivery is
 	// retried before giving up (the lease then simply expires); zero
 	// means 4.
 	CompleteRetries int
+	// BatchCompletes ships each lease round's outcomes as one
+	// CompleteBatch request (collected over BatchLinger) instead of one
+	// Complete per unit — the worker half of completion pipelining.
+	BatchCompletes bool
+	// BatchLinger is how long the batch collector waits after the first
+	// outcome for siblings to finish; zero means 15ms.
+	BatchLinger time.Duration
+	// BreakerAfter is how many consecutive transport failures trip the
+	// circuit breaker; zero means 8, negative disables the breaker.
+	// Shed responses (OverloadError) count as successes — an overloaded
+	// coordinator is alive, and backoff, not the breaker, handles it.
+	BreakerAfter int
+	// BreakerCooldown is how long an open breaker waits before
+	// half-opening on a single probe; zero means 2s.
+	BreakerCooldown time.Duration
 	// KillAfterUnits arms the chaos kill: the worker dies mid-trial
 	// while running its nth started unit. Zero disables.
 	KillAfterUnits int
@@ -72,7 +101,11 @@ type WorkerConfig struct {
 // in-flight units and releases their leases, so the coordinator can
 // reassign them immediately instead of waiting out the TTL.
 type Worker struct {
-	cfg WorkerConfig
+	cfg     WorkerConfig
+	breaker *breakerClient
+
+	rngMu sync.Mutex
+	rng   *sim.Rand
 
 	draining atomic.Bool
 	dead     atomic.Bool
@@ -93,13 +126,58 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.PollMax <= 0 {
 		cfg.PollMax = 2 * time.Second
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = sim.HashString(cfg.ID)
+	}
 	if cfg.CompleteRetries <= 0 {
 		cfg.CompleteRetries = 4
+	}
+	if cfg.BatchLinger <= 0 {
+		cfg.BatchLinger = 15 * time.Millisecond
+	}
+	if cfg.BreakerAfter == 0 {
+		cfg.BreakerAfter = 8
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
 	}
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
-	return &Worker{cfg: cfg}
+	w := &Worker{cfg: cfg, rng: sim.NewRand(cfg.Seed)}
+	if cfg.BreakerAfter > 0 {
+		w.breaker = &breakerClient{
+			inner:    cfg.Client,
+			clock:    cfg.Clock,
+			after:    cfg.BreakerAfter,
+			cooldown: cfg.BreakerCooldown,
+		}
+		w.cfg.Client = w.breaker
+	}
+	return w
+}
+
+// BreakerStats reports the worker's circuit-breaker activity (zero when
+// the breaker is disabled).
+func (w *Worker) BreakerStats() BreakerStats {
+	if w.breaker == nil {
+		return BreakerStats{}
+	}
+	return w.breaker.snapshot()
+}
+
+// newRetrier derives an independent jittered-backoff schedule. Each
+// caller (the lease loop, each completion delivery) gets its own stream
+// split from the worker seed, so schedules are deterministic per worker
+// yet uncorrelated across workers and across purposes.
+func (w *Worker) newRetrier(label string) *retrier {
+	w.rngMu.Lock()
+	rng := w.rng.Split(sim.HashString(label))
+	w.rngMu.Unlock()
+	return &retrier{rng: rng, base: w.cfg.RetryBase, max: w.cfg.PollMax}
 }
 
 // Drain stops the worker from leasing new units; in-flight units finish
@@ -126,7 +204,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer cancel()
 	w.killFn = cancel
 
-	backoff := 50 * time.Millisecond
+	retry := w.newRetrier("lease")
 	for {
 		if w.dead.Load() {
 			return ErrKilled
@@ -147,16 +225,20 @@ func (w *Worker) Run(ctx context.Context) error {
 			if runCtx.Err() != nil {
 				return runCtx.Err()
 			}
-			// Transport fault (or partition): back off and retry.
-			if err := w.cfg.Clock.Sleep(runCtx, backoff); err != nil {
-				return err
+			// Transport fault, shed, or open breaker: back off and retry.
+			// A shed carries the coordinator's own hint — honor it
+			// (stretched, so the herd does not re-synchronize on it).
+			wait := retry.next()
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				wait = retry.stretch(oe.RetryAfter)
 			}
-			if backoff *= 2; backoff > w.cfg.PollMax {
-				backoff = w.cfg.PollMax
+			if err := w.cfg.Clock.Sleep(runCtx, wait); err != nil {
+				return err
 			}
 			continue
 		}
-		backoff = 50 * time.Millisecond
+		retry.reset()
 		if resp.Degraded {
 			// The coordinator can no longer persist state and is refusing
 			// leases; idling here would just hide the outage. Exit loudly.
@@ -171,21 +253,32 @@ func (w *Worker) Run(ctx context.Context) error {
 			if wait <= 0 || wait > w.cfg.PollMax {
 				wait = w.cfg.PollMax
 			}
-			if err := w.cfg.Clock.Sleep(runCtx, wait); err != nil {
+			// Jitter the shared hint: every idle worker gets the same
+			// RetryAfterMillis, and sleeping it verbatim would march the
+			// fleet back in lockstep.
+			if err := w.cfg.Clock.Sleep(runCtx, retry.stretch(wait)); err != nil {
 				return err
 			}
 			continue
 		}
 
+		var sink *completionSink
+		if w.cfg.BatchCompletes {
+			sink = w.startSink(runCtx, len(resp.Units))
+		}
 		var wg sync.WaitGroup
 		for _, lu := range resp.Units {
 			wg.Add(1)
 			go func(lu LeasedUnit) {
 				defer wg.Done()
-				w.execute(runCtx, ctx, lu)
+				w.execute(runCtx, ctx, lu, sink)
 			}(lu)
 		}
 		wg.Wait()
+		if sink != nil {
+			close(sink.ch)
+			<-sink.done
+		}
 	}
 }
 
@@ -193,7 +286,9 @@ func (w *Worker) Run(ctx context.Context) error {
 // outcome. runCtx is the worker's cancellable context (kill, abort);
 // parent distinguishes an external abort (release the lease) from an
 // internal abandon (the lease is no longer ours — walk away silently).
-func (w *Worker) execute(runCtx, parent context.Context, lu LeasedUnit) {
+// With a non-nil sink the outcome goes to the batch collector instead
+// of an individual Complete round trip.
+func (w *Worker) execute(runCtx, parent context.Context, lu LeasedUnit, sink *completionSink) {
 	n := w.started.Add(1)
 	killThis := w.cfg.KillAfterUnits > 0 && n == int64(w.cfg.KillAfterUnits)
 
@@ -285,7 +380,101 @@ func (w *Worker) execute(runCtx, parent context.Context, lu LeasedUnit) {
 	if res.DurationMS == 0 {
 		res.DurationMS = w.cfg.Clock.Now().Sub(start).Milliseconds()
 	}
+	if sink != nil {
+		sink.ch <- CompletedUnit{
+			Unit: lu.Unit.ID, Epoch: lu.Epoch,
+			OK: res.OK, Result: res.Result, Error: res.Error,
+			Artifact: res.Artifact, Attempts: res.Attempts, DurationMS: res.DurationMS,
+		}
+		return
+	}
 	w.complete(runCtx, lu, res)
+}
+
+// completionSink collects one lease round's outcomes for batched
+// delivery. ch is buffered to the round's unit count so executors never
+// block on it; Run closes it after the round's WaitGroup drains and
+// waits on done for the final flush.
+type completionSink struct {
+	ch   chan CompletedUnit
+	done chan struct{}
+}
+
+// startSink launches the batch collector for one lease round.
+func (w *Worker) startSink(ctx context.Context, capacity int) *completionSink {
+	s := &completionSink{ch: make(chan CompletedUnit, capacity), done: make(chan struct{})}
+	go w.collectCompletions(ctx, s)
+	return s
+}
+
+// collectCompletions gathers outcomes into batches: the first arrival
+// opens a linger window for siblings to land in, then everything
+// buffered ships as one CompleteBatch. Units that died, were abandoned,
+// or were released never enter the sink, so a batch only ever carries
+// outcomes this worker still believes it owns.
+func (w *Worker) collectCompletions(ctx context.Context, s *completionSink) {
+	defer close(s.done)
+	retry := w.newRetrier("complete-batch")
+	for {
+		cu, ok := <-s.ch
+		if !ok {
+			return
+		}
+		batch := []CompletedUnit{cu}
+		// Linger for stragglers; a cancelled clock just means we flush
+		// immediately with whatever is buffered.
+		w.cfg.Clock.Sleep(ctx, w.cfg.BatchLinger)
+		closed := false
+	drain:
+		for {
+			select {
+			case cu, ok := <-s.ch:
+				if !ok {
+					closed = true
+					break drain
+				}
+				batch = append(batch, cu)
+			default:
+				break drain
+			}
+		}
+		w.deliverBatch(ctx, retry, batch)
+		if closed {
+			return
+		}
+	}
+}
+
+// deliverBatch ships one CompleteBatch with the same retry/fencing
+// discipline as complete: give-up is safe (lease expiry re-earns the
+// outcome), redelivery is absorbed idempotently, and a shed response's
+// hint is honored.
+func (w *Worker) deliverBatch(ctx context.Context, retry *retrier, batch []CompletedUnit) {
+	req := CompleteBatchRequest{Worker: w.cfg.ID, Units: batch}
+	for i := 0; i <= w.cfg.CompleteRetries; i++ {
+		resp, err := w.cfg.Client.CompleteBatch(ctx, req)
+		if w.dead.Load() || ctx.Err() != nil {
+			return
+		}
+		if err == nil {
+			for j, accepted := range resp.Accepted {
+				if !accepted && j < len(batch) {
+					fmt.Fprintf(w.cfg.Log, "%s: completion of %s fenced off (stale epoch %d)\n", w.cfg.ID, batch[j].Unit, batch[j].Epoch)
+				}
+			}
+			retry.reset()
+			return
+		}
+		wait := retry.next()
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			wait = retry.stretch(oe.RetryAfter)
+		}
+		if err := w.cfg.Clock.Sleep(ctx, wait); err != nil {
+			return
+		}
+	}
+	fmt.Fprintf(w.cfg.Log, "%s: could not deliver batch of %d completion(s); leaving them to lease expiry\n", w.cfg.ID, len(batch))
 }
 
 // complete delivers the outcome, retrying transport faults with backoff.
@@ -298,7 +487,7 @@ func (w *Worker) complete(ctx context.Context, lu LeasedUnit, res UnitResult) {
 		OK: res.OK, Result: res.Result, Error: res.Error,
 		Artifact: res.Artifact, Attempts: res.Attempts, DurationMS: res.DurationMS,
 	}
-	backoff := 100 * time.Millisecond
+	retry := w.newRetrier("complete/" + string(lu.Unit.ID))
 	for i := 0; i <= w.cfg.CompleteRetries; i++ {
 		resp, err := w.cfg.Client.Complete(ctx, req)
 		if w.dead.Load() || ctx.Err() != nil {
@@ -310,12 +499,182 @@ func (w *Worker) complete(ctx context.Context, lu LeasedUnit, res UnitResult) {
 			}
 			return
 		}
-		if err := w.cfg.Clock.Sleep(ctx, backoff); err != nil {
-			return
+		wait := retry.next()
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			wait = retry.stretch(oe.RetryAfter)
 		}
-		if backoff *= 2; backoff > w.cfg.PollMax {
-			backoff = w.cfg.PollMax
+		if err := w.cfg.Clock.Sleep(ctx, wait); err != nil {
+			return
 		}
 	}
 	fmt.Fprintf(w.cfg.Log, "%s: could not deliver completion of %s; leaving it to lease expiry\n", w.cfg.ID, lu.Unit.ID)
+}
+
+// retrier is a full-jitter exponential backoff schedule: the nth wait
+// is drawn uniformly from (0, min(max, base·2ⁿ)]. Full jitter is what
+// breaks the thundering herd — two workers with the same failure
+// history still sleep different amounts, because each draws from its
+// own seeded stream.
+type retrier struct {
+	rng  *sim.Rand
+	base time.Duration
+	max  time.Duration
+	n    int
+}
+
+// next returns the next backoff and advances the schedule.
+func (r *retrier) next() time.Duration {
+	ceil := r.base << uint(r.n)
+	if ceil <= 0 || ceil > r.max {
+		ceil = r.max
+	}
+	if r.n < 30 {
+		r.n++
+	}
+	if ceil < time.Millisecond {
+		ceil = time.Millisecond
+	}
+	return time.Duration(r.rng.IntN(int(ceil))) + 1
+}
+
+// reset rewinds the schedule after a success.
+func (r *retrier) reset() { r.n = 0 }
+
+// stretch jitters a server-supplied hint upward by as much as half —
+// honoring a shared Retry-After verbatim would just re-synchronize the
+// herd on the server's own clock.
+func (r *retrier) stretch(d time.Duration) time.Duration {
+	if d <= 0 {
+		return r.next()
+	}
+	return d + time.Duration(r.rng.IntN(int(d/2)+1))
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerClient wraps a Client in a circuit breaker: after `after`
+// consecutive transport failures it opens, fast-failing every call
+// locally for `cooldown`, then half-opens on exactly one probe — a
+// down coordinator gets one polite knock per cooldown instead of a
+// fleet-wide hammering. Shed responses (OverloadError) and the caller's
+// own cancellation never count as failures: the first means the
+// coordinator is alive, the second says nothing about it at all.
+type breakerClient struct {
+	inner    Client
+	clock    Clock
+	after    int
+	cooldown time.Duration
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+	st          BreakerStats
+}
+
+// allow gates one call: nil to proceed (possibly as the half-open
+// probe), ErrBreakerOpen to fast-fail.
+func (b *breakerClient) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.clock.Now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.st.Probes++
+			return nil
+		}
+	default:
+		// Half-open with the probe already in flight: its verdict
+		// decides for everyone, so extra calls wait out the probe.
+	}
+	b.st.FastFails++
+	return ErrBreakerOpen
+}
+
+// record books one call's outcome.
+func (b *breakerClient) record(err error) {
+	var oe *OverloadError
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return // the caller hung up; the coordinator was never heard from
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil || errors.As(err, &oe) {
+		b.state = breakerClosed
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.after) {
+		b.state = breakerOpen
+		b.openedAt = b.clock.Now()
+		b.st.Trips++
+		b.consecutive = 0
+	}
+}
+
+// snapshot copies the counters.
+func (b *breakerClient) snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+// Lease implements Client.
+func (b *breakerClient) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	if err := b.allow(); err != nil {
+		return LeaseResponse{}, err
+	}
+	resp, err := b.inner.Lease(ctx, req)
+	b.record(err)
+	return resp, err
+}
+
+// Heartbeat implements Client.
+func (b *breakerClient) Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	if err := b.allow(); err != nil {
+		return HeartbeatResponse{}, err
+	}
+	resp, err := b.inner.Heartbeat(ctx, req)
+	b.record(err)
+	return resp, err
+}
+
+// Complete implements Client.
+func (b *breakerClient) Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	if err := b.allow(); err != nil {
+		return CompleteResponse{}, err
+	}
+	resp, err := b.inner.Complete(ctx, req)
+	b.record(err)
+	return resp, err
+}
+
+// CompleteBatch implements Client.
+func (b *breakerClient) CompleteBatch(ctx context.Context, req CompleteBatchRequest) (CompleteBatchResponse, error) {
+	if err := b.allow(); err != nil {
+		return CompleteBatchResponse{}, err
+	}
+	resp, err := b.inner.CompleteBatch(ctx, req)
+	b.record(err)
+	return resp, err
+}
+
+// Release implements Client.
+func (b *breakerClient) Release(ctx context.Context, req ReleaseRequest) (ReleaseResponse, error) {
+	if err := b.allow(); err != nil {
+		return ReleaseResponse{}, err
+	}
+	resp, err := b.inner.Release(ctx, req)
+	b.record(err)
+	return resp, err
 }

@@ -162,6 +162,11 @@ func (a *abandonClient) Complete(ctx context.Context, req CompleteRequest) (Comp
 	return CompleteResponse{}, nil
 }
 
+func (a *abandonClient) CompleteBatch(ctx context.Context, req CompleteBatchRequest) (CompleteBatchResponse, error) {
+	a.completed.Store(true)
+	return CompleteBatchResponse{Accepted: make([]bool, len(req.Units))}, nil
+}
+
 func (a *abandonClient) Release(ctx context.Context, req ReleaseRequest) (ReleaseResponse, error) {
 	a.released.Store(true)
 	return ReleaseResponse{}, nil
@@ -200,7 +205,7 @@ func TestHTTPTransportSweep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
-	srv := httptest.NewServer(NewServer(c))
+	srv := httptest.NewServer(NewServer(c, ServerConfig{}))
 	defer srv.Close()
 
 	var mu sync.Mutex
