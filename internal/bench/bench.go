@@ -25,6 +25,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/sweepd"
 	"repro/internal/system"
 	"repro/internal/topo"
@@ -97,7 +98,10 @@ func Cases() []Case {
 		{Name: "cache-flush", ZeroAlloc: true, Fn: benchCacheFlush},
 		{Name: "machine-quantum", ZeroAlloc: true, Fn: benchMachineQuantum},
 		{Name: "machine-epoch", ZeroAlloc: true, Fn: benchMachineEpoch},
+		{Name: "machine-epoch-idle", ZeroAlloc: true, Fn: benchMachineEpochIdle},
+		{Name: "machine-epoch-idle-stepped", ZeroAlloc: true, Fn: benchMachineEpochIdleStepped},
 		{Name: "trial-sync-quick", Trial: true, Long: true, Fn: benchTrialSync},
+		{Name: "trial-settle-quick", Trial: true, Long: true, Fn: benchTrialSettle},
 		{Name: "trial-rel-quick", Trial: true, Long: true, Fn: benchTrialRel},
 		{Name: "sweepd-loopback", Long: true, Fn: benchSweepdLoopback},
 		{Name: "sweepd-complete-batched", Long: true, Fn: benchSweepdCompleteBatched},
@@ -292,6 +296,26 @@ func benchMachineEpoch(b *testing.B) {
 	}
 }
 
+// benchMachineEpochIdle advances an inert machine by one governor epoch:
+// the quantum ticker de-arms after the first empty quantum and the engine
+// jumps straight between epoch deadlines, so the cost is one governor
+// decision per epoch rather than 50 quantum walks. The -stepped partner
+// below is the same machine with skip-ahead disabled; their ratio is the
+// idle-elision win the skip-ahead tentpole claims (≥5×).
+func benchMachineEpochIdle(b *testing.B)        { benchIdleEpoch(b, true) }
+func benchMachineEpochIdleStepped(b *testing.B) { benchIdleEpoch(b, false) }
+
+func benchIdleEpoch(b *testing.B, skip bool) {
+	m := system.New(system.DefaultConfig())
+	m.SetSkipAhead(skip)
+	e := m.Config().UFS.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(e)
+	}
+}
+
 // benchTrial runs one quick experiment trial per iteration; trials/sec
 // over these cases is the harness's headline throughput number. Trials
 // share a machine pool, as the runner's sweep workers do, so the numbers
@@ -313,6 +337,37 @@ func benchTrial(b *testing.B, id string) {
 
 func benchTrialSync(b *testing.B) { benchTrial(b, "sync") }
 func benchTrialRel(b *testing.B)  { benchTrial(b, "rel") }
+
+// benchTrialSettle times the settle-dominated trial shape of the
+// platform-characterization experiments (fig3/fig4 grid cells): a pooled
+// machine idles through a 1.2 s settle window, then a 400 ms sampled
+// window yields the median uncore frequency. Under skip-ahead the settle
+// collapses to governor epochs — this is the trials/sec number the
+// quantum-elision change is accountable for.
+func benchTrialSettle(b *testing.B) {
+	pool := &system.Pool{}
+	cfg := system.DefaultConfig()
+	var srt stats.Sorter
+	var median float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = 0x5eed + uint64(i)
+		m := pool.Get(cfg)
+		m.Run(1200 * sim.Millisecond)
+		srt.Reset()
+		m.Engine().Add(&sim.Ticker{
+			Name:     "sample-median",
+			Period:   sim.Millisecond,
+			Priority: 100,
+			Fn:       func(sim.Time) { srt.Add(m.Socket(0).Uncore().GHz()) },
+		})
+		m.Run(400 * sim.Millisecond)
+		median = srt.Median()
+		pool.Put(m)
+	}
+	_ = median
+}
 
 // benchSweepdLoopback load-tests the distributed-sweep coordination
 // path: one op is a whole 64-unit sweep pushed through the coordinator

@@ -27,8 +27,20 @@ type Delta struct {
 	// stable-named set the regression thresholds apply to; merged
 	// `go test -bench` rows are reported but never fail a compare.
 	Gated bool `json:"gated,omitempty"`
+	// Extra diffs the case's custom b.ReportMetric values (e.g.
+	// sweepd-complete-batched's complete-rpc/unit), keyed by metric name.
+	// Custom metrics share the ns/op tolerance: they are
+	// lower-is-better unit costs, and time-like noise bounds fit them.
+	Extra map[string]ExtraDelta `json:"extra,omitempty"`
 	// Regressed lists the threshold violations, empty when clean.
 	Regressed []string `json:"regressed,omitempty"`
+}
+
+// ExtraDelta is one custom metric's baseline→current movement.
+type ExtraDelta struct {
+	Base float64 `json:"base"`
+	Cur  float64 `json:"cur"`
+	Pct  float64 `json:"pct"`
 }
 
 // CompareReport is the bench-compare delta artifact.
@@ -42,6 +54,10 @@ type CompareReport struct {
 	// a silently dropped benchmark must not pass the gate.
 	MissingInCurrent []string `json:"missing_in_current,omitempty"`
 	NewInCurrent     []string `json:"new_in_current,omitempty"`
+	// NewResults carries the full measurements of the NewInCurrent cases,
+	// so a compare against an older baseline still shows the absolute
+	// numbers of freshly added benchmarks in the before/after table.
+	NewResults []Result `json:"new_results,omitempty"`
 }
 
 // Regressions flattens every violation into "case: detail" strings.
@@ -127,17 +143,56 @@ func Compare(base, cur Report, nsTolPct, bytesTolPct float64) CompareReport {
 					fmt.Sprintf("bytes/op %+.1f%% (%d -> %d, tolerance %.0f%%)", d.BytesPct, d.BaseBytes, d.CurBytes, bytesTolPct))
 			}
 		}
+		// Custom metrics diff under the ns/op tolerance. A gated case that
+		// stopped reporting a baseline metric fails: losing the measurement
+		// is as silent as losing the benchmark.
+		for _, k := range sortedKeys(b.Extra) {
+			bv := b.Extra[k]
+			cv, ok := c.Extra[k]
+			if !ok {
+				if d.Gated {
+					d.Regressed = append(d.Regressed,
+						fmt.Sprintf("%s: custom metric missing from current run (baseline %.3f)", k, bv))
+				}
+				continue
+			}
+			ed := ExtraDelta{Base: bv, Cur: cv, Pct: pctChange(bv, cv)}
+			if d.Extra == nil {
+				d.Extra = make(map[string]ExtraDelta, len(b.Extra))
+			}
+			d.Extra[k] = ed
+			if d.Gated && ed.Pct > nsTolPct {
+				d.Regressed = append(d.Regressed,
+					fmt.Sprintf("%s %+.1f%% (%.3f -> %.3f, tolerance %.0f%%)", k, ed.Pct, bv, cv, nsTolPct))
+			}
+		}
 		rep.Deltas = append(rep.Deltas, d)
 	}
 	for _, c := range cur.Results {
 		if !seen[c.Name] {
 			rep.NewInCurrent = append(rep.NewInCurrent, c.Name)
+			rep.NewResults = append(rep.NewResults, c)
 		}
 	}
 	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
 	sort.Strings(rep.MissingInCurrent)
 	sort.Strings(rep.NewInCurrent)
+	sort.Slice(rep.NewResults, func(i, j int) bool { return rep.NewResults[i].Name < rep.NewResults[j].Name })
 	return rep
+}
+
+// sortedKeys returns m's keys in sorted order, so regression lists and
+// rendered tables are deterministic across runs.
+func sortedKeys(m map[string]float64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // pctChange returns the percent change from base to cur; a zero base
@@ -150,11 +205,13 @@ func pctChange(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-// Render writes the human-readable delta table.
+// Render writes the human-readable before/after table: absolute ns/op on
+// both sides plus the percentage movements, custom-metric deltas
+// indented under their case, and new cases with their absolute numbers.
 func (r CompareReport) Render(w io.Writer) error {
 	fmt.Fprintf(w, "bench compare: %s -> %s (tolerances: ns/op %.0f%%, bytes/op %.0f%%)\n",
 		r.BaseDate, r.CurDate, r.NsTolerancePct, r.BytesTolerancePct)
-	fmt.Fprintln(w, "case\tns/op\tbytes/op\tgated\tverdict")
+	fmt.Fprintln(w, "case\tbase ns/op\tcur ns/op\tns/op\tbytes/op\tgated\tverdict")
 	for _, d := range r.Deltas {
 		verdict := "ok"
 		if len(d.Regressed) > 0 {
@@ -164,7 +221,12 @@ func (r CompareReport) Render(w io.Writer) error {
 		if d.Gated {
 			gated = "gate"
 		}
-		fmt.Fprintf(w, "%s\t%+.1f%%\t%+.1f%%\t%s\t%s\n", d.Name, d.NsPct, d.BytesPct, gated, verdict)
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\t%+.1f%%\t%s\t%s\n",
+			d.Name, d.BaseNs, d.CurNs, d.NsPct, d.BytesPct, gated, verdict)
+		for _, k := range sortedExtraKeys(d.Extra) {
+			ed := d.Extra[k]
+			fmt.Fprintf(w, "  %s\t%.3f\t%.3f\t%+.1f%%\n", k, ed.Base, ed.Cur, ed.Pct)
+		}
 		for _, v := range d.Regressed {
 			fmt.Fprintf(w, "  ! %s\n", v)
 		}
@@ -172,8 +234,26 @@ func (r CompareReport) Render(w io.Writer) error {
 	for _, name := range r.MissingInCurrent {
 		fmt.Fprintf(w, "! %s: gated case missing from current run\n", name)
 	}
-	for _, name := range r.NewInCurrent {
-		fmt.Fprintf(w, "+ %s: new in current run\n", name)
+	for _, res := range r.NewResults {
+		fmt.Fprintf(w, "+ %s: new in current run (%.0f ns/op, %d B/op, %d allocs/op",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.TrialsPerSec > 0 {
+			fmt.Fprintf(w, ", %.2f trials/sec", res.TrialsPerSec)
+		}
+		fmt.Fprint(w, ")\n")
 	}
 	return nil
+}
+
+// sortedExtraKeys mirrors sortedKeys for ExtraDelta maps.
+func sortedExtraKeys(m map[string]ExtraDelta) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

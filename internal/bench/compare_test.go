@@ -111,3 +111,75 @@ func TestCompareDefaultsAndRender(t *testing.T) {
 		t.Errorf("render output missing expected rows:\n%s", sb.String())
 	}
 }
+
+func TestCompareExtraMetrics(t *testing.T) {
+	base := report(
+		Result{Name: "sweepd-complete-batched", NsPerOp: 1000, Source: "bench",
+			Extra: map[string]float64{"complete-rpc/unit": 0.25}},
+	)
+
+	// Within tolerance: +10% on the 15% ns gate.
+	cur := report(
+		Result{Name: "sweepd-complete-batched", NsPerOp: 1000, Source: "bench",
+			Extra: map[string]float64{"complete-rpc/unit": 0.275}},
+	)
+	rep := Compare(base, cur, 15, 10)
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("extra within tolerance reported regressions: %v", regs)
+	}
+	d := rep.Deltas[0]
+	ed, ok := d.Extra["complete-rpc/unit"]
+	if !ok || ed.Base != 0.25 || ed.Cur != 0.275 {
+		t.Fatalf("extra delta not recorded: %+v", d.Extra)
+	}
+
+	// Blown: +60% unit cost fails with the same threshold as ns/op.
+	cur = report(
+		Result{Name: "sweepd-complete-batched", NsPerOp: 1000, Source: "bench",
+			Extra: map[string]float64{"complete-rpc/unit": 0.4}},
+	)
+	regs := Compare(base, cur, 15, 10).Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "complete-rpc/unit") {
+		t.Errorf("extra regression not caught: %v", regs)
+	}
+
+	// A gated case that stopped reporting the metric fails too: losing
+	// the measurement is as silent as losing the benchmark.
+	cur = report(Result{Name: "sweepd-complete-batched", NsPerOp: 1000, Source: "bench"})
+	regs = Compare(base, cur, 15, 10).Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Errorf("dropped extra metric not caught: %v", regs)
+	}
+
+	// Ungated rows (go test merges) may move or drop metrics freely.
+	base = report(Result{Name: "BenchmarkX", NsPerOp: 50, Source: "go test",
+		Extra: map[string]float64{"k": 1}})
+	cur = report(Result{Name: "BenchmarkX", NsPerOp: 50, Source: "go test"})
+	if regs := Compare(base, cur, 15, 10).Regressions(); len(regs) != 0 {
+		t.Errorf("ungated extra drop penalised: %v", regs)
+	}
+}
+
+func TestCompareNewCaseCarriesNumbers(t *testing.T) {
+	base := report(Result{Name: "machine-quantum", NsPerOp: 1000, Source: "bench"})
+	cur := report(
+		Result{Name: "machine-quantum", NsPerOp: 1000, Source: "bench"},
+		Result{Name: "machine-epoch-idle", NsPerOp: 294, Source: "bench", ZeroAlloc: true},
+		Result{Name: "trial-settle-quick", NsPerOp: 5e8, TrialsPerSec: 2, Source: "bench"},
+	)
+	rep := Compare(base, cur, 15, 10)
+	if len(rep.NewResults) != 2 {
+		t.Fatalf("NewResults = %+v, want 2 rows", rep.NewResults)
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "machine-epoch-idle: new in current run (294 ns/op") {
+		t.Errorf("render lacks new-case absolute numbers:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00 trials/sec") {
+		t.Errorf("render lacks new trial case trials/sec:\n%s", out)
+	}
+}

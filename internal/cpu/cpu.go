@@ -132,8 +132,15 @@ func (c *Core) RecordActive(quantum sim.Time, counters Counters, inTail bool) {
 // a short halt period the OS demotes the core into deeper C-states
 // (§2.2.2: "the OS chooses a C-state based on the intensity of the
 // workloads").
-func (c *Core) RecordIdle(quantum sim.Time) {
-	c.idleFor += quantum
+func (c *Core) RecordIdle(quantum sim.Time) { c.RecordIdleSpan(quantum) }
+
+// RecordIdleSpan batches idle bookkeeping over an arbitrary span: calling
+// it once with d is bit-identical to calling RecordIdle quantum-by-quantum
+// for the same total, because the demotion ladder is a pure function of
+// the accumulated idle time. The skip-ahead machine uses it to catch a
+// core up over an elided idle stretch in O(1).
+func (c *Core) RecordIdleSpan(d sim.Time) {
+	c.idleFor += d
 	switch {
 	case c.idleFor >= 2*sim.Millisecond:
 		c.CState = C6

@@ -59,13 +59,19 @@ func medianFreq(m *system.Machine, socket int, settle, window sim.Time) float64 
 // instead of copying every window. Sorter medians are bit-identical to
 // stats.Median.
 func medianFreqWith(m *system.Machine, socket int, settle, window sim.Time, srt *stats.Sorter) float64 {
-	s := sampleUncore(m, socket, sim.Millisecond, "median")
-	s.Reserve(int((settle+window)/sim.Millisecond) + 2)
+	// The sampler attaches after the settle run: settle samples were never
+	// part of the median, and an unsampled settle lets an inert machine
+	// skip straight between governor epochs instead of waking every
+	// millisecond to record a value that would be thrown away. Every call
+	// site settles for a whole number of milliseconds, so the window's
+	// sample grid (settle + k·1 ms) is bit-identical to the old
+	// attach-first grid.
 	m.Run(settle)
-	start := len(s.Samples)
+	s := sampleUncore(m, socket, sim.Millisecond, "median")
+	s.Reserve(int(window/sim.Millisecond) + 2)
 	m.Run(window)
 	srt.Reset()
-	for _, smp := range s.Samples[start:] {
+	for _, smp := range s.Samples {
 		srt.Add(smp.Value)
 	}
 	return srt.Median()

@@ -29,7 +29,15 @@ type Ticker struct {
 	// Add order (the contract the old sorted-slice dispatcher gave).
 	next Time
 	seq  uint64
+	// paused marks a ticker de-scheduled by Engine.Pause. A paused ticker
+	// keeps its deadline grid (next is the deadline that was pending when
+	// it paused) so Resume can re-arm on the original phase.
+	paused bool
 }
+
+// Paused reports whether the ticker is currently de-scheduled by
+// Engine.Pause.
+func (t *Ticker) Paused() bool { return t.paused }
 
 // ErrBudgetExceeded is returned (wrapped in a *BudgetError) by RunContext
 // when the engine's step watchdog trips. A runaway simulation — a ticker
@@ -172,11 +180,109 @@ func (e *Engine) Add(t *Ticker) {
 	t.next = e.now + t.Phase + t.Period
 	t.seq = e.seq
 	e.seq++
+	t.paused = false
 	if e.firing {
 		e.pending = append(e.pending, t)
 		return
 	}
 	e.push(t)
+}
+
+// Pause de-schedules t: it stops firing until Resume (or a fresh Add)
+// re-arms it. The ticker keeps the deadline that was pending when it
+// paused, so a later Resume re-arms on the original grid — quantum
+// tickers stay aligned to multiples of their period no matter how long
+// they sat out. Pausing a ticker the engine does not hold (never added,
+// already paused) is a no-op. Pausing from inside the ticker's own Fn is
+// the supported self-de-arm path: ticks already committed to the current
+// instant still fire for other tickers, and t simply is not re-scheduled.
+// Pausing a same-instant cohort member that has not fired yet retracts
+// its tick for this instant too.
+func (e *Engine) Pause(t *Ticker) {
+	if t.paused {
+		return
+	}
+	t.paused = true
+	e.removeFromHeap(t)
+	e.removeFromPending(t)
+}
+
+// Resume re-arms a paused ticker. The first post-resume tick lands on
+// the earliest grid point strictly after now, where the grid is the
+// ticker's original deadline sequence (next + k*Period): a strictly-after
+// deadline matches stepped semantics, because a tick at exactly `now`
+// would already have fired before any external caller could observe the
+// engine at that instant. Resuming an unpaused ticker is a no-op.
+// Resuming from inside a tick joins the schedule once the current
+// instant completes, mirroring the Add contract.
+func (e *Engine) Resume(t *Ticker) {
+	if !t.paused {
+		return
+	}
+	t.paused = false
+	if t.next <= e.now {
+		missed := (e.now - t.next) / t.Period
+		t.next += (missed + 1) * t.Period
+	}
+	if e.firing {
+		// If t is in the cohort being dispatched (paused and resumed
+		// within one instant) the re-push loop re-inserts it; appending
+		// here too would double-schedule it.
+		for _, c := range e.cohort {
+			if c == t {
+				return
+			}
+		}
+		e.pending = append(e.pending, t)
+		return
+	}
+	e.push(t)
+}
+
+// NextDeadline returns the earliest pending deadline and true, or zero
+// and false when nothing is scheduled. During a dispatch it reflects only
+// tickers not in the instant being fired.
+func (e *Engine) NextDeadline() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].next, true
+}
+
+// removeFromHeap deletes t from the deadline heap if present. Engines
+// hold a handful of tickers, so the linear scan for the index is cheaper
+// than maintaining per-ticker heap indices on every sift.
+func (e *Engine) removeFromHeap(t *Ticker) {
+	h := e.heap
+	for i, c := range h {
+		if c != t {
+			continue
+		}
+		last := len(h) - 1
+		h[i] = h[last]
+		h[last] = nil
+		e.heap = h[:last]
+		if i < last {
+			e.siftUp(i)
+			e.siftDown(i)
+		}
+		return
+	}
+}
+
+// removeFromPending deletes t from the deferred-insertion list if
+// present, preserving the order of the survivors.
+func (e *Engine) removeFromPending(t *Ticker) {
+	for i, c := range e.pending {
+		if c != t {
+			continue
+		}
+		copy(e.pending[i:], e.pending[i+1:])
+		last := len(e.pending) - 1
+		e.pending[last] = nil
+		e.pending = e.pending[:last]
+		return
+	}
 }
 
 // before orders the heap: earliest deadline first, ties broken by
@@ -216,6 +322,20 @@ func (e *Engine) pop() *Ticker {
 	e.heap = h[:last]
 	e.siftDown(0)
 	return top
+}
+
+// siftUp restores the heap property upward from index i after a
+// removal placed an arbitrary element there.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
 func (e *Engine) siftDown(i int) {
@@ -299,8 +419,17 @@ func (e *Engine) runUntil(ctx context.Context, end Time) error {
 		for len(e.heap) > 0 && e.heap[0].next == at {
 			cohort = append(cohort, e.pop())
 		}
+		// Publish the cohort so Pause/Resume called from inside a tick can
+		// tell in-cohort tickers (re-inserted by the loop below) from
+		// detached ones (which Resume must append to pending).
+		e.cohort = cohort
 		e.firing = true
 		for _, t := range cohort {
+			if t.paused {
+				// Paused mid-instant by an earlier cohort member: the
+				// tick is retracted before it fires.
+				continue
+			}
 			t.Fn(at)
 			t.next = at + t.Period
 			e.steps++
@@ -308,7 +437,9 @@ func (e *Engine) runUntil(ctx context.Context, end Time) error {
 		}
 		e.firing = false
 		for i, t := range cohort {
-			e.push(t)
+			if !t.paused {
+				e.push(t)
+			}
 			cohort[i] = nil
 		}
 		e.cohort = cohort[:0]

@@ -183,3 +183,277 @@ func TestEngineBindContext(t *testing.T) {
 	}()
 	e.Run(Second)
 }
+
+// --- pause / resume (skip-ahead support) -------------------------------
+
+func TestEnginePauseStopsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tk := &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(Time) { fired++ }}
+	e.Add(tk)
+	e.Run(25 * Millisecond) // fires at 10, 20
+	e.Pause(tk)
+	if !tk.Paused() {
+		t.Fatal("ticker not marked paused")
+	}
+	e.Run(100 * Millisecond)
+	if fired != 2 {
+		t.Fatalf("paused ticker fired: %d ticks, want 2", fired)
+	}
+	if _, ok := e.NextDeadline(); ok {
+		t.Error("NextDeadline reports a deadline with the only ticker paused")
+	}
+}
+
+// Resume must land the first post-resume tick on the ticker's original
+// grid — the earliest multiple of Period strictly after now — no matter
+// how long it sat out or where in a period the resume happens.
+func TestEnginePauseResumeKeepsGrid(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(now Time) { ticks = append(ticks, now) }}
+	e.Add(tk)
+	e.Run(25 * Millisecond) // 10, 20
+	e.Pause(tk)
+	e.Run(52 * Millisecond) // now = 77ms, mid-period
+	e.Resume(tk)
+	e.Run(25 * Millisecond) // window (77, 102]
+	want := []Time{10 * Millisecond, 20 * Millisecond, 80 * Millisecond, 90 * Millisecond, 100 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v (grid lost)", i, ticks[i], want[i])
+		}
+	}
+}
+
+// Resuming exactly on a grid boundary must schedule the next tick one
+// full period later: a tick at exactly `now` would already have fired in
+// stepped mode before any external caller observed the engine.
+func TestEngineResumeOnBoundaryExcludesNow(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tk := &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(Time) { fired++ }}
+	e.Add(tk)
+	e.Run(10 * Millisecond) // fires at 10
+	e.Pause(tk)
+	e.Run(30 * Millisecond) // now = 40ms, a grid point
+	e.Resume(tk)
+	e.Run(10 * Millisecond)
+	if fired != 2 { // 10ms and 50ms; nothing at 40ms
+		t.Fatalf("fired %d ticks, want 2", fired)
+	}
+}
+
+// Pause immediately followed by Resume before the pending deadline must
+// not double-schedule the ticker.
+func TestEnginePauseResumeNoDoubleFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tk := &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(Time) { fired++ }}
+	e.Add(tk)
+	e.Run(5 * Millisecond)
+	e.Pause(tk)
+	e.Resume(tk)
+	e.Resume(tk) // double resume is a no-op
+	e.Run(10 * Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired %d ticks in (5ms, 15ms], want exactly 1 (at 10ms)", fired)
+	}
+}
+
+// A ticker that pauses itself from its own Fn — the machine's quantum
+// self-de-arm path — fires that tick, then drops off the schedule.
+func TestEnginePauseSelfDuringTick(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var tk *Ticker
+	tk = &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(Time) {
+		fired++
+		if fired == 3 {
+			e.Pause(tk)
+		}
+	}}
+	e.Add(tk)
+	e.Run(100 * Millisecond)
+	if fired != 3 {
+		t.Fatalf("fired %d ticks, want 3 (self-pause at the third)", fired)
+	}
+	e.Resume(tk)
+	e.Run(10 * Millisecond) // (100, 110]: grid tick at 110
+	if fired != 4 {
+		t.Fatalf("post-resume fired %d ticks total, want 4", fired)
+	}
+}
+
+// Pausing a same-instant cohort member that has not fired yet retracts
+// its tick for the instant; resuming it from within the same instant
+// reinstates it exactly once at the next grid point.
+func TestEnginePauseOtherCohortMember(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var victim *Ticker
+	victim = &Ticker{Name: "victim", Period: Millisecond, Priority: 10, Fn: func(Time) { order = append(order, "victim") }}
+	first := true
+	e.Add(&Ticker{Name: "pauser", Period: Millisecond, Priority: 0, Fn: func(Time) {
+		order = append(order, "pauser")
+		if first {
+			first = false
+			e.Pause(victim)
+		}
+	}})
+	e.Add(victim)
+	e.Run(2 * Millisecond)
+	// Instant 1ms: pauser fires, victim's tick is retracted. Instant 2ms:
+	// victim is paused and absent.
+	want := []string{"pauser", "pauser"}
+	if len(order) != len(want) || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	e.Resume(victim)
+	e.Run(Millisecond)
+	if len(order) != 4 || order[2] != "pauser" || order[3] != "victim" {
+		t.Fatalf("post-resume order = %v, want [... pauser victim]", order)
+	}
+}
+
+// Resume called from inside another ticker's Fn (the Spawn-during-a-tick
+// wake path) joins the schedule once the instant completes, like Add.
+func TestEngineResumeDuringDispatch(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(now Time) { ticks = append(ticks, now) }}
+	e.Add(tk)
+	e.Run(15 * Millisecond) // fires at 10
+	e.Pause(tk)
+	resumed := false
+	e.Add(&Ticker{Name: "waker", Period: 7 * Millisecond, Fn: func(Time) {
+		if !resumed {
+			resumed = true
+			e.Resume(tk)
+		}
+	}})
+	// Waker registered at 15ms, first tick 22ms → resume at 22ms; q's
+	// grid point after 22ms is 30ms.
+	e.Run(30 * Millisecond)
+	want := []Time{10 * Millisecond, 30 * Millisecond, 40 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+// A ticker paused from inside its own tick and resumed later in the same
+// instant (pause/resume collapse to a no-op) keeps firing normally.
+func TestEnginePauseResumeSameInstant(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var tk *Ticker
+	tk = &Ticker{Name: "q", Period: 10 * Millisecond, Priority: 0, Fn: func(Time) { fired++; e.Pause(tk) }}
+	e.Add(tk)
+	e.Add(&Ticker{Name: "waker", Period: 10 * Millisecond, Priority: 5, Fn: func(Time) { e.Resume(tk) }})
+	e.Run(30 * Millisecond)
+	if fired != 3 {
+		t.Fatalf("fired %d ticks, want 3 (pause+resume within each instant)", fired)
+	}
+}
+
+// Pausing a ticker that was Added during the current instant must pull it
+// from the pending list before it ever reaches the heap.
+func TestEnginePausePendingAdd(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var child *Ticker
+	child = &Ticker{Name: "child", Period: Millisecond, Fn: func(Time) { fired++ }}
+	once := false
+	e.Add(&Ticker{Name: "parent", Period: Millisecond, Fn: func(Time) {
+		if !once {
+			once = true
+			e.Add(child)
+			e.Pause(child)
+		}
+	}})
+	e.Run(5 * Millisecond)
+	if fired != 0 {
+		t.Fatalf("paused pending child fired %d times, want 0", fired)
+	}
+}
+
+// Re-Adding a paused ticker (the machine Reset path) clears the pause.
+func TestEngineAddClearsPause(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tk := &Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(Time) { fired++ }}
+	e.Add(tk)
+	e.Pause(tk)
+	e.Reset()
+	e.Add(tk)
+	if tk.Paused() {
+		t.Fatal("Add left the ticker paused")
+	}
+	e.Run(10 * Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired %d ticks after re-Add, want 1", fired)
+	}
+}
+
+// NextDeadline surfaces the heap top; a paused ticker must not hold it.
+func TestEngineNextDeadline(t *testing.T) {
+	e := NewEngine()
+	fast := &Ticker{Name: "fast", Period: 3 * Millisecond, Fn: func(Time) {}}
+	slow := &Ticker{Name: "slow", Period: 10 * Millisecond, Fn: func(Time) {}}
+	e.Add(fast)
+	e.Add(slow)
+	if d, ok := e.NextDeadline(); !ok || d != 3*Millisecond {
+		t.Fatalf("NextDeadline = %v, %v; want 3ms, true", d, ok)
+	}
+	e.Pause(fast)
+	if d, ok := e.NextDeadline(); !ok || d != 10*Millisecond {
+		t.Fatalf("NextDeadline after pause = %v, %v; want 10ms, true", d, ok)
+	}
+}
+
+// RunUntil landing between deadlines leaves now at the requested instant
+// and the next run picks up the schedule without drift.
+func TestEngineRunUntilBetweenDeadlines(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.Add(&Ticker{Name: "q", Period: 10 * Millisecond, Fn: func(now Time) { ticks = append(ticks, now) }})
+	e.RunUntil(25 * Millisecond)
+	if e.Now() != 25*Millisecond {
+		t.Fatalf("Now() = %v, want 25ms", e.Now())
+	}
+	e.RunUntil(41 * Millisecond)
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond, 40 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	// Only due ticks cost steps: the window (41ms, 10s] holds the grid
+	// points 50ms..10000ms, i.e. 996 of them.
+	steps := e.Steps()
+	e.RunUntil(10 * Second)
+	if e.Steps() != steps+996 {
+		t.Fatalf("Steps() = %d after long window, want %d", e.Steps(), steps+996)
+	}
+}
+
+// The step budget counts fired ticks only: jumping a long idle window is
+// O(due events), so a budget that a stepped engine would blow through
+// survives a skip-ahead run of the same span.
+func TestEngineBudgetCountsFiredTicksOnly(t *testing.T) {
+	e := NewEngine()
+	e.Add(&Ticker{Name: "slow", Period: 100 * Millisecond, Fn: func(Time) {}})
+	e.SetStepBudget(50)
+	if err := e.RunContext(context.Background(), 4*Second); err != nil {
+		t.Fatalf("RunContext = %v; 40 fired ticks must fit a budget of 50", err)
+	}
+	if e.Steps() != 40 {
+		t.Fatalf("Steps() = %d, want 40", e.Steps())
+	}
+}

@@ -1,0 +1,197 @@
+package system
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// idleSignature captures everything an external observer can read from a
+// machine after a run: time, per-core C-states and frequencies, per-socket
+// uncore frequency and package C-state, platform idle, and a wake-latency
+// probe drawn from a caller-supplied rng. Engine step counts are
+// deliberately excluded — elision changes how many ticks fire, never what
+// they compute.
+func idleSignature(m *Machine, rng *sim.Rand) string {
+	s := fmt.Sprintf("t=%v platformIdle=%v", m.Now(), m.PlatformIdle())
+	for si, sock := range m.Sockets() {
+		s += fmt.Sprintf(" s%d[uncore=%v pc=%d", si, sock.Uncore(), sock.Gov.PC())
+		for _, c := range sock.Cores {
+			s += fmt.Sprintf(" %v/%v", c.CState, c.Freq)
+		}
+		s += "]"
+	}
+	s += fmt.Sprintf(" wake=%v", m.WakeLatency(0, 3, rng))
+	return s
+}
+
+// scriptedRun drives one machine through idle stretches, spawns, workload
+// swaps, stops, and off-grid run spans — every wake source and catch-up
+// path — and returns the observable signature after each phase.
+func scriptedRun(m *Machine) []string {
+	rng := sim.NewRand(0xabc)
+	var sigs []string
+	snap := func() { sigs = append(sigs, idleSignature(m, rng)) }
+
+	m.Run(100 * sim.Millisecond) // long idle: cores demote, platform sleeps
+	snap()
+	th := m.Spawn("worker", 0, 3, 0, spin())
+	m.Run(30 * sim.Millisecond)
+	snap()
+	th.SetWorkload(nil) // idle the core without stopping the thread
+	m.Run(50 * sim.Millisecond)
+	snap()
+	th.SetWorkload(spin())                          // wake source: SetWorkload
+	m.Run(10*sim.Millisecond + 300*sim.Microsecond) // off-grid end
+	snap()
+	th.Stop()
+	m.Reap()
+	m.Run(70*sim.Millisecond + 100*sim.Microsecond) // idle again, off-grid
+	snap()
+	m.Spawn("late", 1, 5, 0, spin()) // wake source: Spawn, other socket
+	m.Run(25 * sim.Millisecond)
+	snap()
+	return sigs
+}
+
+// TestSkipAheadBitIdentical is the contract test for quantum elision: a
+// machine with skip-ahead (the default) and one stepping every quantum
+// must be indistinguishable in every observable, through idle windows,
+// wakes, off-grid spans, and wake-latency probes.
+func TestSkipAheadBitIdentical(t *testing.T) {
+	fast := newTestMachine(7)
+	slow := newTestMachine(7)
+	slow.SetSkipAhead(false)
+	a, b := scriptedRun(fast), scriptedRun(slow)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("phase %d diverged:\n  skip-ahead: %s\n  stepped:    %s", i, a[i], b[i])
+		}
+	}
+	if fast.Engine().Steps() >= slow.Engine().Steps() {
+		t.Errorf("skip-ahead fired %d ticks, stepped %d; elision saved nothing",
+			fast.Engine().Steps(), slow.Engine().Steps())
+	}
+}
+
+// An idle machine de-arms its quantum ticker after the first quantum and
+// runs O(events): a span that would blow a stepped machine's step budget
+// by orders of magnitude fits comfortably under skip-ahead.
+func TestSkipAheadIdleCostsOEvents(t *testing.T) {
+	m := newTestMachine(1)
+	m.Run(time100ms)
+	if m.QuantumArmed() {
+		t.Fatal("quantum ticker still armed on a machine with no threads")
+	}
+	// 100ms stepped = 500 quanta + 10 epochs; skip-ahead = 1 quantum +
+	// 10 epochs = 11 ticks.
+	if got := m.Engine().Steps(); got != 11 {
+		t.Errorf("idle 100ms fired %d ticks, want 11", got)
+	}
+
+	// A step budget a stepped run would trip within the first 20 ms.
+	m2 := newTestMachine(1)
+	m2.SetStepBudget(150)
+	if err := m2.RunContext(context.Background(), sim.Second); err != nil {
+		t.Fatalf("idle second under budget 150: %v", err)
+	}
+	m3 := newTestMachine(1)
+	m3.SetSkipAhead(false)
+	m3.SetStepBudget(150)
+	if err := m3.RunContext(context.Background(), sim.Second); err == nil {
+		t.Fatal("stepped idle second did not trip a budget of 150; test premise broken")
+	}
+}
+
+const time100ms = 100 * sim.Millisecond
+
+// Spawning with a nil workload must not re-arm; arming the workload later
+// must.
+func TestSkipAheadWakeSources(t *testing.T) {
+	m := newTestMachine(2)
+	m.Run(time100ms)
+	th := m.Spawn("latent", 0, 0, 0, nil)
+	if m.QuantumArmed() {
+		t.Fatal("Spawn with nil workload re-armed the quantum ticker")
+	}
+	m.Run(10 * sim.Millisecond)
+	if m.QuantumArmed() {
+		t.Fatal("quantum ticker re-armed with nothing runnable")
+	}
+	th.SetWorkload(spin())
+	if !m.QuantumArmed() {
+		t.Fatal("SetWorkload did not re-arm the quantum ticker")
+	}
+	// The re-armed quantum resumes on the 200 µs grid.
+	m.Run(sim.Millisecond)
+	if c := m.Socket(0).Cores[0]; c.CState != cpu.C0 {
+		t.Errorf("woken core in %v, want C0", c.CState)
+	}
+}
+
+// A stopped thread is not runnable: the machine de-arms at the next
+// quantum even before Reap prunes the list.
+func TestSkipAheadDearmsAfterStop(t *testing.T) {
+	m := newTestMachine(3)
+	th := m.Spawn("w", 0, 0, 0, spin())
+	m.Run(10 * sim.Millisecond)
+	if !m.QuantumArmed() {
+		t.Fatal("quantum ticker de-armed with a runnable thread")
+	}
+	th.Stop()
+	m.Run(sim.Millisecond)
+	if m.QuantumArmed() {
+		t.Fatal("quantum ticker still armed after the only thread stopped")
+	}
+}
+
+// Reset of a de-armed machine must restore the armed cold state: the
+// pooled-reuse path hands out machines mid-skip.
+func TestSkipAheadResetRearms(t *testing.T) {
+	m := newTestMachine(4)
+	m.Run(time100ms)
+	if m.QuantumArmed() {
+		t.Fatal("precondition: machine should be de-armed")
+	}
+	m.Reset(4)
+	if !m.QuantumArmed() {
+		t.Fatal("Reset left the quantum ticker paused")
+	}
+	fresh := newTestMachine(4)
+	a, b := scriptedRun(m), scriptedRun(fresh)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("phase %d: reset machine diverged from fresh:\n  reset: %s\n  fresh: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// Disabling skip-ahead mid-skip re-arms immediately and catches up the
+// idle bookkeeping.
+func TestSetSkipAheadOffRearms(t *testing.T) {
+	m := newTestMachine(5)
+	m.Run(time100ms)
+	m.SetSkipAhead(false)
+	if !m.QuantumArmed() {
+		t.Fatal("SetSkipAhead(false) left the ticker paused")
+	}
+	for _, c := range m.Socket(0).Cores {
+		if c.CState != cpu.C6 {
+			t.Fatalf("core %d in %v after 100ms idle, want C6", c.ID, c.CState)
+		}
+	}
+}
+
+// Cancellation must cut an elided idle run short within the documented
+// check lag even though almost no ticks fire.
+func TestSkipAheadCancellationLag(t *testing.T) {
+	m := newTestMachine(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.RunContext(ctx, sim.Second); err == nil {
+		t.Fatal("pre-cancelled context did not stop the run")
+	}
+}

@@ -179,6 +179,15 @@ type Machine struct {
 	// order, same priorities) on the cleared engine.
 	quantumTick sim.Ticker
 	epochTick   sim.Ticker
+
+	// skipAhead enables quantum elision: when a quantum finds no runnable
+	// thread, the quantum ticker is paused and the engine jumps straight
+	// between the remaining deadlines (governor epochs, samplers) until a
+	// Spawn or SetWorkload re-arms it. idleDoneAt is the instant through
+	// which per-core idle bookkeeping has been applied while de-armed;
+	// catchUpIdle batches the elided quanta's RecordIdle calls from there.
+	skipAhead  bool
+	idleDoneAt sim.Time
 }
 
 // SetFaults installs (or, with nil, removes) the machine-level fault
@@ -199,9 +208,10 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("system: epoch %v must be a multiple of quantum %v", cfg.UFS.Epoch, cfg.Quantum))
 	}
 	m := &Machine{
-		cfg:    cfg,
-		engine: sim.NewEngine(),
-		rng:    sim.NewRand(cfg.Seed),
+		cfg:       cfg,
+		engine:    sim.NewEngine(),
+		rng:       sim.NewRand(cfg.Seed),
+		skipAhead: true,
 	}
 	for i, die := range cfg.Dies {
 		s := &Socket{
@@ -283,6 +293,7 @@ func (m *Machine) Reset(seed uint64) {
 	}
 	m.engine.Add(&m.quantumTick)
 	m.engine.Add(&m.epochTick)
+	m.idleDoneAt = 0
 }
 
 // Config returns the machine configuration.
@@ -306,13 +317,86 @@ func (m *Machine) Socket(i int) *Socket { return m.sockets[i] }
 // Run advances virtual time by d. If the machine has a bound context
 // that is cancelled mid-run, or its step budget trips, Run panics with a
 // sim.Abort (see Bind).
-func (m *Machine) Run(d sim.Time) { m.engine.Run(d) }
+func (m *Machine) Run(d sim.Time) {
+	m.engine.Run(d)
+	// Callers inspect platform state (C-states, wake latency inputs)
+	// between runs; bring the elided idle bookkeeping up to date first.
+	m.catchUpIdle(m.engine.Now())
+}
 
 // RunContext advances virtual time by d, returning ctx.Err() on
 // cancellation or a sim.ErrBudgetExceeded error when the step watchdog
 // trips, instead of panicking.
 func (m *Machine) RunContext(ctx context.Context, d sim.Time) error {
-	return m.engine.RunContext(ctx, d)
+	err := m.engine.RunContext(ctx, d)
+	m.catchUpIdle(m.engine.Now())
+	return err
+}
+
+// SetSkipAhead toggles quantum elision (on by default). With it off the
+// machine steps every quantum even when nothing is runnable — the
+// pre-skip-ahead behaviour, kept for benchmarking the win and for
+// debugging. Both modes are bit-identical in every observable; only the
+// engine's fired-tick count differs. The setting survives Reset.
+func (m *Machine) SetSkipAhead(on bool) {
+	m.skipAhead = on
+	if !on {
+		m.rearmQuantum()
+	}
+}
+
+// QuantumArmed reports whether the per-quantum ticker is currently
+// scheduled; false means the machine is provably inert and the engine is
+// skipping between epoch/sampler deadlines.
+func (m *Machine) QuantumArmed() bool { return !m.quantumTick.Paused() }
+
+// anyRunnable reports whether any thread can generate activity in a
+// quantum: live and armed with a workload. Workloads that merely report
+// inactive quanta still count — only Stop or a nil workload makes a
+// thread inert.
+func (m *Machine) anyRunnable() bool {
+	for _, t := range m.threads {
+		if !t.stopped && t.w != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rearmQuantum resumes the quantum ticker after an elided idle stretch,
+// first applying the batched idle bookkeeping for the quanta that were
+// skipped. The ticker resumes on its original grid, so post-wake quanta
+// stay aligned to multiples of cfg.Quantum and the inTail/epoch phase
+// arithmetic is unchanged.
+func (m *Machine) rearmQuantum() {
+	if !m.quantumTick.Paused() {
+		return
+	}
+	m.catchUpIdle(m.engine.Now())
+	m.engine.Resume(&m.quantumTick)
+}
+
+// catchUpIdle applies the per-core idle accounting an elided stretch
+// would have accumulated quantum-by-quantum, in one batched span per
+// core. It advances through the last quantum boundary at or before now:
+// a boundary tick at exactly `now` has already fired in stepped mode
+// before any external observer runs, so inclusive alignment reproduces
+// stepped state exactly. No-op while the quantum ticker is armed.
+func (m *Machine) catchUpIdle(now sim.Time) {
+	if !m.quantumTick.Paused() {
+		return
+	}
+	to := now - now%m.cfg.Quantum
+	if to <= m.idleDoneAt {
+		return
+	}
+	d := to - m.idleDoneAt
+	for _, s := range m.sockets {
+		for _, c := range s.Cores {
+			c.RecordIdleSpan(d)
+		}
+	}
+	m.idleDoneAt = to
 }
 
 // Bind installs a context consulted by Run, so a supervisor can cut
@@ -331,6 +415,7 @@ type Thread struct {
 	Core    *cpu.Core
 	Caches  *cache.CoreCaches
 	Domain  cache.Domain
+	m       *Machine
 	rng     *sim.Rand
 	w       Workload
 	drift   timing.Drift
@@ -342,8 +427,15 @@ type Thread struct {
 }
 
 // SetWorkload replaces the thread's program (e.g. the nop→stalling switch
-// of Figure 5). A nil workload idles the core.
-func (t *Thread) SetWorkload(w Workload) { t.w = w }
+// of Figure 5). A nil workload idles the core. Arming a workload is a
+// wake source: it re-arms the machine's quantum ticker if an idle skip
+// had de-armed it.
+func (t *Thread) SetWorkload(w Workload) {
+	t.w = w
+	if w != nil && !t.stopped {
+		t.m.rearmQuantum()
+	}
+}
 
 // Stop removes the thread from scheduling permanently.
 func (t *Thread) Stop() { t.stopped = true }
@@ -389,10 +481,14 @@ func (m *Machine) Spawn(name string, socket, core int, d cache.Domain, w Workloa
 		Core:   s.Cores[core],
 		Caches: s.coreCaches[core],
 		Domain: d,
+		m:      m,
 		rng:    m.rng.Split(sim.HashString(name)),
 	}
 	t.w = w
 	m.threads = append(m.threads, t)
+	if w != nil {
+		m.rearmQuantum()
+	}
 	return t
 }
 
@@ -491,12 +587,27 @@ func (m *Machine) stepQuantum(now sim.Time) {
 			}
 		}
 	}
+	if m.skipAhead && !m.anyRunnable() {
+		// Provably inert: nothing can generate activity until a Spawn or
+		// SetWorkload (the wake sources) re-arms us. A quantum with no
+		// runnable thread contributes no mesh load and no quantum power —
+		// both were cleared at the top of this quantum — so the state a
+		// sampler observes mid-skip is exactly the stepped-mode state.
+		// The epoch ticker stays armed: governor epochs (and their rng
+		// draws) must keep firing in order.
+		m.idleDoneAt = now
+		m.engine.Pause(&m.quantumTick)
+	}
 }
 
 // stepEpoch runs every socket's governor with the epoch's accumulated
 // activity. Sockets tick in ID order; each sees the others' most recent
 // frequency, producing the one-step-behind coupling of §3.4.
 func (m *Machine) stepEpoch(now sim.Time) {
+	// Under an idle skip the per-quantum RecordIdle calls were elided;
+	// apply them in one batch so MinCState (and thus the package C-state
+	// decision below) sees the same demotion ladder as stepped mode.
+	m.catchUpIdle(now)
 	window := m.cfg.UFS.TailWindow
 	if window <= 0 || window > m.cfg.UFS.Epoch {
 		window = m.cfg.UFS.Epoch
@@ -576,6 +687,8 @@ func (m *Machine) PlatformIdle() bool {
 // the uncore's package C-state exit latency, and the platform deep-idle
 // exit when the whole machine had gone quiet.
 func (m *Machine) WakeLatency(socket, core int, rng *sim.Rand) sim.Time {
+	// The core C-state read below must reflect any elided idle stretch.
+	m.catchUpIdle(m.engine.Now())
 	s := m.sockets[socket]
 	lat := s.Cores[core].CState.ExitLatency() + s.Gov.PC().ExitLatency()
 	if m.PlatformIdle() {

@@ -1,9 +1,12 @@
 #!/bin/sh
-# Benchmark delta gate: diffs two normalized BENCH_*.json reports and
-# fails when a gated registry case regresses past the tolerances
-# (>15% ns/op or >10% bytes/op over baseline by default). The optional
-# third argument persists the delta as a JSON artifact — CI uploads it
-# alongside the BENCH_<date>.json it gates.
+# Benchmark delta gate: diffs two normalized BENCH_*.json reports,
+# prints a before/after table (absolute ns/op on both sides, custom
+# b.ReportMetric deltas indented under their case, new cases with their
+# absolute numbers), and fails when a gated registry case regresses past
+# the tolerances (>15% ns/op or >10% bytes/op over baseline by default),
+# goes missing from the current run, or drops a custom metric the
+# baseline reported. The optional third argument persists the delta as a
+# JSON artifact — CI uploads it alongside the BENCH_<date>.json it gates.
 #
 # Usage:
 #   scripts/bench_compare.sh BASELINE.json CURRENT.json [DELTA_OUT.json]
